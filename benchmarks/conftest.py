@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures and table-reporting helpers.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): the experiments are deterministic simulations, so statistical
+repetition would only burn time.  Every benchmark also appends its
+paper-style table to ``benchmarks/out/`` so the results survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that prints a table and persists it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        with open(OUT_DIR / f"{name}.txt", "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,40 @@
+"""Fig. 8: performance over RoadNet (time + communication, q1-q8).
+
+Paper shape: RADS and PSgL (exploration-based) beat the join-based engines
+by an order of magnitude on this sparse graph, and RADS' communication is
+near zero because SM-E absorbs almost all candidates.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import exp_performance
+from repro.bench.harness import format_comm_table, format_time_table
+
+
+def test_fig8_roadnet(benchmark, report):
+    grid = run_once(benchmark, lambda: exp_performance("roadnet"))
+    report(
+        "fig8_roadnet",
+        format_time_table(grid) + "\n\n" + format_comm_table(grid),
+    )
+
+    def total(engine, metric):
+        vals = [
+            metric(grid.get(engine, q))
+            for q in grid.queries()
+            if grid.get(engine, q) and not grid.get(engine, q).failed
+        ]
+        return sum(vals) if vals else float("inf")
+
+    time_of = lambda e: total(e, lambda r: r.makespan)
+    comm_of = lambda e: total(e, lambda r: r.total_comm_bytes)
+
+    # Exploration engines dominate the join engines on sparse graphs.
+    assert time_of("RADS") < time_of("TwinTwig")
+    assert time_of("RADS") < time_of("SEED")
+    assert time_of("PSgL") < time_of("TwinTwig")
+    # "for RADS, the communication cost is almost 0" (Exp-1): an order of
+    # magnitude under the join engines, well under the other explorer too.
+    assert comm_of("RADS") < 0.2 * comm_of("PSgL")
+    assert comm_of("RADS") < 0.05 * comm_of("TwinTwig")
+    assert comm_of("RADS") < 2_000_000  # well under 2 MB in simulation

@@ -1,0 +1,46 @@
+"""Fig. 9: performance over DBLP (time + communication, q1-q8).
+
+Paper shape: PSgL's uncompressed partial-match shuffling makes it the
+communication hog; RADS' foreign-vertex caching keeps its traffic tiny;
+RADS leads on time.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import exp_performance
+from repro.bench.harness import format_comm_table, format_time_table
+
+
+def test_fig9_dblp(benchmark, report):
+    grid = run_once(benchmark, lambda: exp_performance("dblp"))
+    report(
+        "fig9_dblp",
+        format_time_table(grid) + "\n\n" + format_comm_table(grid),
+    )
+
+    def total(engine, metric):
+        vals = [
+            metric(grid.get(engine, q))
+            for q in grid.queries()
+            if grid.get(engine, q) and not grid.get(engine, q).failed
+        ]
+        return sum(vals) if vals else float("inf")
+
+    comm_of = lambda e: total(e, lambda r: r.total_comm_bytes)
+    time_of = lambda e: total(e, lambda r: r.makespan)
+
+    # Every baseline ships at least an order of magnitude more data than
+    # RADS, whose foreign-vertex caching keeps traffic "quite small
+    # (less than 5M)" in the paper.
+    for engine in ("PSgL", "TwinTwig", "SEED", "Crystal"):
+        assert comm_of(engine) > 10 * comm_of("RADS"), engine
+    # RADS communicates the least among the distributed engines.
+    assert comm_of("RADS") == min(
+        comm_of(e) for e in ("PSgL", "RADS", "TwinTwig", "SEED")
+    )
+    # Time ordering of Exp-2: RADS first; PSgL beats the join engines.
+    assert time_of("RADS") == min(
+        time_of(e) for e in ("PSgL", "RADS", "TwinTwig", "SEED", "Crystal")
+    )
+    assert time_of("PSgL") < time_of("TwinTwig")
+    assert time_of("PSgL") < time_of("SEED")

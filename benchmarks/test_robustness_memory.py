@@ -1,0 +1,49 @@
+"""Robustness sweep: the paper's 8G-cap anecdote (Exp-4).
+
+"we tried to set a memory upper bound ... and test query q6, Crystal starts
+crashing due to memory leaks, while RADS successfully finished the query".
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import exp_robustness
+
+
+def format_rows(rows):
+    engines = list(rows[0].survived)
+    lines = [
+        "Robustness - memory-cap sweep on uk2002 / q6",
+        f"{'cap':>12}" + "".join(f"{e:>14}" for e in engines),
+    ]
+    for row in rows:
+        label = "unlimited" if row.cap_mb is None else f"{row.cap_mb:.0f} MB"
+        cells = []
+        for e in engines:
+            if row.survived[e]:
+                cells.append(f"{row.peak_mb[e]:>11.2f} MB")
+            else:
+                cells.append(f"{'OOM':>14}")
+        lines.append(f"{label:>12}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def test_robustness_memory_cap(benchmark, report):
+    rows = run_once(benchmark, exp_robustness)
+    report("robustness_memory", format_rows(rows))
+
+    # RADS survives every cap in the sweep.
+    assert all(row.survived["RADS"] for row in rows)
+    # At least one cap kills Crystal while RADS survives (the 8G anecdote).
+    assert any(
+        not row.survived["Crystal"] and row.survived["RADS"] for row in rows
+    )
+    # TwinTwig dies no later than Crystal does.
+    tightest_tt = min(
+        (i for i, row in enumerate(rows) if not row.survived["TwinTwig"]),
+        default=len(rows),
+    )
+    tightest_cr = min(
+        (i for i, row in enumerate(rows) if not row.survived["Crystal"]),
+        default=len(rows),
+    )
+    assert tightest_tt <= tightest_cr

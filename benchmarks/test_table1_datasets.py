@@ -1,0 +1,38 @@
+"""Table 1: profiles of the four (synthetic-analogue) datasets."""
+
+from conftest import run_once
+
+from repro.bench.experiments import exp_table1
+
+
+def format_rows(rows):
+    header = (
+        f"{'Dataset':<14}{'|V|':>10}{'|E|':>10}"
+        f"{'Avg degree':>12}{'Diameter>=':>12}"
+    )
+    lines = ["Table 1 - dataset profiles", header]
+    for r in rows:
+        lines.append(
+            f"{r['dataset']:<14}{r['num_vertices']:>10}{r['num_edges']:>10}"
+            f"{r['avg_degree']:>12}{r['diameter_lb']:>12}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_dataset_profiles(benchmark, report):
+    rows = run_once(benchmark, exp_table1)
+    report("table1_datasets", format_rows(rows))
+
+    profiles = {r["dataset"]: r for r in rows}
+    # Shape checks mirroring the paper's Table 1:
+    # RoadNet is the sparsest and has by far the largest diameter.
+    road = profiles["RoadNet"]
+    assert road["avg_degree"] == min(r["avg_degree"] for r in rows)
+    assert road["diameter_lb"] == max(r["diameter_lb"] for r in rows)
+    # Density ordering: RoadNet < DBLP < LiveJournal < UK2002.
+    assert (
+        road["avg_degree"]
+        < profiles["DBLP"]["avg_degree"] + 1
+        <= profiles["LiveJournal"]["avg_degree"]
+        < profiles["UK2002"]["avg_degree"]
+    )

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Labeled subgraph search with TurboIso-style filtering.
+
+The paper's substrate algorithm, TurboIso, is a *labeled* matcher; this
+example exercises that layer on a synthetic collaboration network whose
+vertices are typed (junior / senior / PI) and looks for a labeled
+"supervision triangle": a PI connected to a senior and a junior member who
+also collaborate with each other.
+
+Run:  python examples/labeled_search.py
+"""
+
+from repro.enumeration import labeled_embeddings
+from repro.enumeration.backtracking import EnumerationStats
+from repro.enumeration.labeled import LabeledPattern, candidate_sets
+from repro.graph import community_graph, label_randomly
+from repro.query.patterns import triangle
+
+JUNIOR, SENIOR, PI = 0, 1, 2
+LABEL_NAMES = {JUNIOR: "junior", SENIOR: "senior", PI: "PI"}
+
+
+def main() -> None:
+    # A community-structured collaboration graph; roles follow a skewed
+    # distribution (many juniors, few PIs).
+    graph = community_graph(25, 20, intra_prob=0.35, inter_edges=3, seed=4)
+    data = label_randomly(
+        graph, 3, seed=7, weights={JUNIOR: 0.6, SENIOR: 0.3, PI: 0.1}
+    )
+    print(f"collaboration network: {data}")
+    for label, count in sorted(data.label_frequencies().items()):
+        print(f"  {LABEL_NAMES[label]:>7}: {count} people")
+
+    # The labeled query: a triangle with one vertex per role.
+    query = LabeledPattern(triangle(), [PI, SENIOR, JUNIOR])
+    print(f"\nquery: supervision triangle {query}")
+
+    # Candidate filtering is where labels pay off: compare the raw
+    # label-indexed candidates with the NLF-filtered ones.
+    plain = candidate_sets(data, query, use_nlf=False)
+    filtered = candidate_sets(data, query, use_nlf=True)
+    for u in query.pattern.vertices():
+        print(
+            f"  candidates for {LABEL_NAMES[query.label(u)]:>7}: "
+            f"{len(plain[u]):4d} by label, {len(filtered[u]):4d} after NLF"
+        )
+
+    stats = EnumerationStats()
+    matches = labeled_embeddings(data, query, stats=stats)
+    print(f"\nsupervision triangles found: {len(matches)}")
+    print(f"backtracking calls: {stats.recursive_calls}")
+    for emb in sorted(matches)[:5]:
+        pi, senior, junior = emb
+        print(f"  PI {pi} - senior {senior} - junior {junior}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Memory robustness demo — the paper's 8G-cap experiment (Exp-4).
+
+The paper caps per-machine memory and shows Crystal crashing while RADS
+finishes, thanks to region groups (Sec. 6): RADS splits the start
+candidates into proximity groups sized to the budget and processes them
+sequentially, trading peak memory for extra rounds.
+
+This script sweeps the simulated memory cap downwards and reports, for each
+engine, whether it survives and what its peak usage was.
+
+Run:  python examples/memory_robustness.py
+"""
+
+from repro.bench.datasets import uk2002_like
+from repro.bench.harness import make_cluster
+from repro.engines import all_engines
+from repro.query import paper_query
+
+
+def main() -> None:
+    graph = uk2002_like(scale=0.2)
+    pattern = paper_query("q6")  # triangle-free: no Crystal index shortcut
+    print(f"graph: {graph}; query: {pattern.name}\n")
+
+    caps = [None, 32 * 1024 * 1024, 4 * 1024 * 1024, 1024 * 1024]
+    engines = all_engines()
+    header = f"{'cap':>10}" + "".join(f"{name:>14}" for name in engines)
+    print(header)
+    for cap in caps:
+        cells = []
+        for name, engine_cls in engines.items():
+            cluster = make_cluster(graph, num_machines=4,
+                                   memory_capacity=cap)
+            result = engine_cls().run(
+                cluster, pattern, collect_embeddings=False
+            )
+            if result.failed:
+                cells.append(f"{'OOM':>14}")
+            else:
+                cells.append(f"{result.peak_memory / 1e6:>11.2f} MB")
+        label = "unlimited" if cap is None else f"{cap // (1024 * 1024)} MB"
+        print(f"{label:>10}" + "".join(cells))
+
+    print(
+        "\nRADS keeps finishing long after the baselines crash because "
+        "region groups (and final-round result streaming) bound its "
+        "working set; the baselines must hold their full intermediate "
+        "results.  Below the cost of a single region group RADS finally "
+        "hits its own floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The two related-work families the paper dismisses, quantified.
+
+Sec. 8 of the paper argues — without racing them — that (a) single-round
+multiway joins duplicate most edges when the pattern is complex, and
+(b) d-hop replication may fetch entire neighbour partitions when the data
+graph has a small diameter.  This example runs both engines next to RADS
+on two graphs chosen to flip the replication story.
+
+Run:  python examples/related_work_baselines.py
+"""
+
+from repro.bench.harness import make_cluster
+from repro.core.rads import RADSEngine
+from repro.engines import MultiwayJoinEngine, ReplicationEngine
+from repro.graph import grid_road_network, powerlaw_cluster
+from repro.query import paper_query
+
+
+def run_on(graph, label: str) -> None:
+    cluster = make_cluster(graph, num_machines=6)
+    print(f"\n=== {label}: {graph} ===")
+    for qname in ("q2", "q8"):
+        pattern = paper_query(qname)
+        print(f"\n  query {qname} ({pattern.num_edges} edges):")
+        counts = set()
+        for engine in (
+            RADSEngine(),
+            MultiwayJoinEngine(),
+            ReplicationEngine(),
+        ):
+            result = engine.run(
+                cluster.fresh_copy(), pattern, collect_embeddings=False
+            )
+            counts.add(result.embedding_count)
+            extra = ""
+            if isinstance(engine, MultiwayJoinEngine):
+                extra = (
+                    f"  shares={engine.last_shares} "
+                    f"copies={engine.last_replicated_tuples}"
+                )
+            if isinstance(engine, ReplicationEngine):
+                extra = (
+                    f"  replicated={engine.last_replicated_vertices} vertices"
+                )
+            print(
+                f"    {engine.name:>12}: {result.makespan * 1e3:8.2f} ms, "
+                f"{result.total_comm_bytes / 1024:9.1f} KB net{extra}"
+            )
+        assert len(counts) == 1, "engines disagree"
+        print(f"    (all engines agree: {counts.pop()} embeddings)")
+
+
+def main() -> None:
+    # Small diameter, dense: replication has to pull big neighbourhoods.
+    run_on(powerlaw_cluster(500, 4, seed=3), "small-diameter power-law graph")
+    # Huge diameter, sparse: the d-hop ball around the border stays thin.
+    run_on(
+        grid_road_network(22, 22, extra_edge_prob=0.05, seed=5),
+        "huge-diameter road network",
+    )
+    print(
+        "\nThe multiway join's edge copies grow with query complexity\n"
+        "(compare q2 vs q8), and replication flips from cheap on the road\n"
+        "network to expensive on the small-diameter graph — the paper's\n"
+        "two qualitative dismissals, reproduced."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Road-network motif counting — the paper's Exp-1 scenario.
+
+Road networks are the best case for RADS: with a locality-preserving
+partition, nearly every vertex is far from a partition border, so the
+border-distance/span test (Prop. 1) routes almost all candidates to the
+communication-free single-machine phase.  This example quantifies that:
+it prints the SM-E share per machine and the (tiny) resulting network
+traffic, and contrasts RADS with the shuffle-everything PSgL baseline.
+
+Run:  python examples/road_network_motifs.py
+"""
+
+from repro.bench.harness import make_cluster
+from repro.core.sme import SingleMachineSplit
+from repro.engines import PSgLEngine, RADSEngine
+from repro.graph import grid_road_network
+from repro.query import best_execution_plan, paper_query
+from repro.query.symmetry import symmetry_breaking_constraints
+
+
+def main() -> None:
+    graph = grid_road_network(50, 50, extra_edge_prob=0.04, seed=7)
+    print(f"road network: {graph}")
+    cluster = make_cluster(graph, num_machines=6)
+
+    pattern = paper_query("q1")  # squares: city blocks
+    plan = best_execution_plan(pattern)
+    constraints = symmetry_breaking_constraints(pattern)
+    split = SingleMachineSplit(pattern, plan, constraints)
+
+    print(f"\nquery {pattern.name}: span(u_start) = "
+          f"{pattern.span(plan.start_vertex)}")
+    print("per-machine SM-E split (Prop. 1):")
+    total_local, total_all = 0, 0
+    for t in range(cluster.num_machines):
+        local = cluster.partition.machine(t)
+        c1, c2 = split.split(local)
+        total_local += len(c1)
+        total_all += len(c1) + len(c2)
+        print(
+            f"  machine {t}: {len(c1):5d} of {len(c1) + len(c2):5d} "
+            f"candidates handled locally "
+            f"({100 * len(c1) / max(1, len(c1) + len(c2)):5.1f}%)"
+        )
+    print(f"overall SM-E share: {100 * total_local / max(1, total_all):.1f}%")
+
+    for engine in (RADSEngine(), PSgLEngine()):
+        result = engine.run(
+            cluster.fresh_copy(), pattern, collect_embeddings=False
+        )
+        print(
+            f"\n{engine.name:>5}: {result.embedding_count} squares, "
+            f"time {result.makespan:.4f}s, "
+            f"comm {result.total_comm_bytes / 1024:.1f} KB"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Render a miniature Fig. 8 as an ASCII bar chart in the terminal.
+
+Runs the five engines over a small road network for three queries and
+draws the paper-style grouped bar chart (log scale, OOM = empty bar)
+without leaving the terminal.
+
+Run:  python examples/terminal_figures.py
+"""
+
+from repro.bench.datasets import roadnet_like
+from repro.bench.harness import run_query_grid
+from repro.bench.plotting import grouped_bar_chart
+from repro.engines import all_engines
+
+
+def main() -> None:
+    graph = roadnet_like(scale=0.25)
+    engines = {name: cls() for name, cls in all_engines().items()}
+    grid = run_query_grid(
+        graph, "mini-roadnet", ["q1", "q2", "q4"],
+        engines=engines, num_machines=4,
+    )
+    print(grouped_bar_chart(grid, title="time (simulated s)", log=True))
+    print()
+    print(
+        grouped_bar_chart(
+            grid,
+            metric=lambda r: r.total_comm_bytes / 1024,
+            title="communication (KB)",
+            log=True,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""BigJoin vs TwinTwig vs RADS — why worst-case optimality matters.
+
+BigJoin (Ammar et al., 2018; the paper's Sec. 8) extends embeddings one
+vertex at a time using *intersections* of all matched neighbours, so its
+intermediate results never exceed the worst-case output bound.  TwinTwig's
+binary star joins have no such guarantee: on hub-heavy graphs their
+intermediate relations dwarf the final result.  RADS explores like BigJoin
+but without shuffling the prefixes at all.
+
+Run:  python examples/worst_case_optimal_join.py
+"""
+
+from repro.bench.harness import make_cluster
+from repro.engines import RADSEngine, TwinTwigEngine
+from repro.engines.bigjoin import BigJoinEngine
+from repro.graph import powerlaw_cluster
+from repro.query import paper_query
+
+
+def main() -> None:
+    graph = powerlaw_cluster(500, edges_per_vertex=4, seed=11)
+    print(f"hub-heavy graph: {graph} "
+          f"(max degree {int(graph.degrees().max())})")
+    cluster = make_cluster(graph, num_machines=4)
+    pattern = paper_query("q4")
+
+    rows = []
+    for engine in (RADSEngine(), BigJoinEngine(), TwinTwigEngine()):
+        result = engine.run(
+            cluster.fresh_copy(), pattern, collect_embeddings=False
+        )
+        rows.append((engine.name, result))
+        print(
+            f"{engine.name:>9}: time {result.makespan:9.4f}s  "
+            f"comm {result.comm_mb:8.3f} MB  "
+            f"peak {result.peak_memory / 1e6:8.2f} MB  "
+            f"({result.embedding_count} embeddings)"
+        )
+    counts = {r.embedding_count for _, r in rows}
+    assert len(counts) == 1, "engines disagree"
+
+    bigjoin = dict(rows)["BigJoin"]
+    twintwig = dict(rows)["TwinTwig"]
+    rads = dict(rows)["RADS"]
+    print(
+        f"\nBigJoin's peak memory is {twintwig.peak_memory / max(1, bigjoin.peak_memory):.1f}x "
+        "smaller than TwinTwig's (worst-case optimality), while RADS "
+        f"additionally ships {bigjoin.total_comm_bytes / max(1, rads.total_comm_bytes):.1f}x "
+        "fewer bytes (no intermediate-result exchange at all)."
+    )
+
+
+if __name__ == "__main__":
+    main()

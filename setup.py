@@ -1,0 +1,7 @@
+"""Setuptools shim so `python setup.py develop` works offline
+(environments without the `wheel` package cannot do PEP 660 editable
+installs; normal environments should just `pip install -e .`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""RADS — reproduction of "Fast and Robust Distributed Subgraph
+Enumeration" (Ren, Wang, Han, Yu; VLDB 2019) on a simulated cluster.
+
+Top-level convenience re-exports cover the everyday API::
+
+    from repro import Graph, Pattern, Cluster, RADSEngine, paper_query
+
+    graph = ...                       # build or load a data graph
+    cluster = Cluster.create(graph, num_machines=10)
+    result = RADSEngine().run(cluster, paper_query("q4"))
+
+Heavier pieces (baseline engines, benchmark harness, labeled layer) live
+in their subpackages: :mod:`repro.engines`, :mod:`repro.bench`,
+:mod:`repro.enumeration`, :mod:`repro.graph`, :mod:`repro.partition`.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.1.0"
+
+#: Lazily resolved re-exports: name -> (module, attribute).  Resolving on
+#: first access keeps ``import repro`` light and the import graph acyclic
+#: (repro.core imports repro.engines.base and vice versa via registries).
+_EXPORTS: dict[str, tuple[str, str]] = {
+    "Graph": ("repro.graph.graph", "Graph"),
+    "GraphBuilder": ("repro.graph.builder", "GraphBuilder"),
+    "LabeledGraph": ("repro.graph.labeled", "LabeledGraph"),
+    "Pattern": ("repro.query.pattern", "Pattern"),
+    "LabeledPattern": ("repro.enumeration.labeled", "LabeledPattern"),
+    "paper_query": ("repro.query.patterns", "paper_query"),
+    "named_patterns": ("repro.query.patterns", "named_patterns"),
+    "Cluster": ("repro.cluster.cluster", "Cluster"),
+    "CostModel": ("repro.cluster.costmodel", "CostModel"),
+    "RADSEngine": ("repro.core.rads", "RADSEngine"),
+    "RunResult": ("repro.engines.base", "RunResult"),
+    "all_engines": ("repro.engines", "all_engines"),
+    "extended_engines": ("repro.engines", "extended_engines"),
+    "enumerate_embeddings": (
+        "repro.enumeration.backtracking", "enumerate_embeddings"
+    ),
+    "labeled_embeddings": ("repro.enumeration.labeled", "labeled_embeddings"),
+    "best_execution_plan": ("repro.query.plan", "best_execution_plan"),
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,33 @@
+"""Benchmark harness: synthetic datasets and paper-experiment runners."""
+
+from repro.bench.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset,
+    dataset_profile,
+    dblp_like,
+    livejournal_like,
+    roadnet_like,
+    uk2002_like,
+)
+from repro.bench.harness import (
+    GridResult,
+    format_comm_table,
+    format_time_table,
+    run_query_grid,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset",
+    "dataset_profile",
+    "roadnet_like",
+    "dblp_like",
+    "livejournal_like",
+    "uk2002_like",
+    "GridResult",
+    "run_query_grid",
+    "format_time_table",
+    "format_comm_table",
+]

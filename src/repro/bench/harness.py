@@ -1,0 +1,142 @@
+"""Experiment harness: runs engine x query grids and formats paper tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster import Cluster, CostModel
+from repro.engines import all_engines
+from repro.engines.base import EnumerationEngine, RunResult
+from repro.graph.graph import Graph
+from repro.partition import MetisLikePartitioner
+from repro.query import named_patterns
+from repro.query.pattern import Pattern
+
+
+@dataclass
+class GridResult:
+    """Results of one dataset's engine x query grid."""
+
+    dataset: str
+    num_machines: int
+    results: dict[tuple[str, str], RunResult] = field(default_factory=dict)
+
+    def get(self, engine: str, query: str) -> RunResult | None:
+        """Result for (engine, query), or None if not run."""
+        return self.results.get((engine, query))
+
+    def engines(self) -> list[str]:
+        """Engine names present, in first-seen order."""
+        seen: list[str] = []
+        for engine, _ in self.results:
+            if engine not in seen:
+                seen.append(engine)
+        return seen
+
+    def queries(self) -> list[str]:
+        """Query names present, in first-seen order."""
+        seen: list[str] = []
+        for _, query in self.results:
+            if query not in seen:
+                seen.append(query)
+        return seen
+
+
+def make_cluster(
+    graph: Graph,
+    num_machines: int,
+    memory_capacity: int | None = None,
+    seed: int = 0,
+) -> Cluster:
+    """Standard benchmark cluster: METIS-like partition, default cost model."""
+    return Cluster.create(
+        graph,
+        num_machines,
+        partitioner=MetisLikePartitioner(seed=seed),
+        cost_model=CostModel(),
+        memory_capacity=memory_capacity,
+    )
+
+
+def run_query_grid(
+    graph: Graph,
+    dataset_name: str,
+    queries: list[str],
+    engines: dict[str, EnumerationEngine] | None = None,
+    num_machines: int = 10,
+    memory_capacity: int | None = None,
+    check_consistency: bool = True,
+) -> GridResult:
+    """Run every engine on every query over a shared partition.
+
+    Engines never see each other's clusters (fresh clocks/memory per run);
+    with ``check_consistency`` all successful engines must report the same
+    embedding count per query.
+    """
+    if engines is None:
+        engines = {name: cls() for name, cls in all_engines().items()}
+    base = make_cluster(graph, num_machines, memory_capacity)
+    patterns = named_patterns()
+    grid = GridResult(dataset_name, num_machines)
+    for qname in queries:
+        pattern = patterns[qname]
+        counts: dict[str, int] = {}
+        for ename, engine in engines.items():
+            cluster = base.fresh_copy()
+            result = engine.run(cluster, pattern, collect_embeddings=False)
+            grid.results[(ename, qname)] = result
+            if not result.failed:
+                counts[ename] = result.embedding_count
+        if check_consistency and len(set(counts.values())) > 1:
+            raise AssertionError(
+                f"engines disagree on {dataset_name}/{qname}: {counts}"
+            )
+    return grid
+
+
+def _format_table(
+    grid: GridResult,
+    metric,
+    header: str,
+    unit: str,
+) -> str:
+    engines = grid.engines()
+    queries = grid.queries()
+    width = 12
+    lines = [
+        f"{header} — {grid.dataset} ({grid.num_machines} machines, {unit})",
+        " " * 10 + "".join(f"{q:>{width}}" for q in queries),
+    ]
+    for engine in engines:
+        cells = []
+        for q in queries:
+            result = grid.get(engine, q)
+            if result is None:
+                cells.append(f"{'-':>{width}}")
+            elif result.failed:
+                cells.append(f"{'OOM':>{width}}")
+            else:
+                cells.append(f"{metric(result):>{width}.3f}")
+        lines.append(f"{engine:<10}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_time_table(grid: GridResult) -> str:
+    """Simulated elapsed-time table (paper Figs. 8a-11)."""
+    return _format_table(
+        grid, lambda r: r.makespan, "Time elapsed", "simulated s"
+    )
+
+
+def format_comm_table(grid: GridResult) -> str:
+    """Communication-cost table (paper Figs. 8b-10b)."""
+    return _format_table(
+        grid, lambda r: r.comm_mb, "Communication cost", "MB"
+    )
+
+
+def format_count_table(grid: GridResult) -> str:
+    """Embedding counts (sanity companion to the paper figures)."""
+    return _format_table(
+        grid, lambda r: float(r.embedding_count), "Embeddings", "count"
+    )

@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflows end to end::
+
+    python -m repro generate --dataset roadnet --out road.npz
+    python -m repro enumerate --graph road.npz --query q4 --engine RADS \
+        --machines 10
+    python -m repro plan --query q5 [--graph road.npz]
+    python -m repro profile --graph road.npz
+
+Graphs are read by extension: ``.npz`` (binary CSR), ``.edges`` (SNAP edge
+list) or ``.adj`` (adjacency text).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.datasets import DATASETS, dataset
+from repro.bench.harness import make_cluster
+from repro.engines import extended_engines
+from repro.engines.single import SingleMachineEngine
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    load_adjacency_text,
+    load_binary,
+    load_edge_list,
+    save_adjacency_text,
+    save_binary,
+    save_edge_list,
+)
+from repro.query import best_execution_plan, named_patterns
+from repro.query.plan_stats import estimate_plan, plan_space_summary
+
+
+def load_graph(path: str) -> Graph:
+    """Load a graph, dispatching on the file extension."""
+    if path.endswith(".npz"):
+        return load_binary(path)
+    if path.endswith(".edges"):
+        return load_edge_list(path)
+    if path.endswith(".adj"):
+        return load_adjacency_text(path)
+    raise SystemExit(f"unknown graph format: {path} (.npz/.edges/.adj)")
+
+
+def save_graph(graph: Graph, path: str) -> int:
+    """Save a graph, dispatching on the file extension."""
+    if path.endswith(".npz"):
+        return save_binary(graph, path)
+    if path.endswith(".edges"):
+        return save_edge_list(graph, path)
+    if path.endswith(".adj"):
+        return save_adjacency_text(graph, path)
+    raise SystemExit(f"unknown graph format: {path} (.npz/.edges/.adj)")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = dataset(args.dataset, args.scale)
+    nbytes = save_graph(graph, args.out)
+    print(
+        f"{args.dataset} (scale {args.scale}): {graph} "
+        f"-> {args.out} ({nbytes} bytes)"
+    )
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    pattern = named_patterns().get(args.query)
+    if pattern is None:
+        raise SystemExit(
+            f"unknown query {args.query!r}; choose from "
+            f"{sorted(named_patterns())}"
+        )
+    engines = {**extended_engines(), "Single": SingleMachineEngine}
+    engine_cls = engines.get(args.engine)
+    if engine_cls is None:
+        raise SystemExit(
+            f"unknown engine {args.engine!r}; choose from {sorted(engines)}"
+        )
+    cluster = make_cluster(
+        graph,
+        args.machines,
+        memory_capacity=(
+            args.memory_mb * 1024 * 1024 if args.memory_mb else None
+        ),
+    )
+    if args.straggler > 1.0:
+        cluster.set_speed_factor(0, 1.0 / args.straggler)
+    result = engine_cls().run(
+        cluster, pattern, collect_embeddings=args.show > 0
+    )
+    if result.failed:
+        print(f"FAILED: {result.failure}")
+        return 1
+    print(result.summary())
+    for emb in sorted(result.embeddings or [])[: args.show]:
+        print("  ", emb)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    pattern = named_patterns().get(args.query)
+    if pattern is None:
+        raise SystemExit(f"unknown query {args.query!r}")
+    plan = best_execution_plan(pattern)
+    print(f"query {pattern.name}: |V|={pattern.num_vertices} "
+          f"|E|={pattern.num_edges}")
+    summary = plan_space_summary(pattern)
+    print(
+        f"plan space: {summary['num_plans']} minimum-round plans "
+        f"({summary['rounds']} rounds), scores "
+        f"{summary['score_min']:.2f}..{summary['score_max']:.2f}"
+    )
+    if args.graph:
+        graph = load_graph(args.graph)
+        print(estimate_plan(pattern, plan, graph).describe())
+    else:
+        for i, unit in enumerate(plan.units):
+            leaves = ",".join(map(str, unit.leaves))
+            print(
+                f"  round {i}: pivot u{unit.pivot} -> leaves {{{leaves}}}"
+                f" ({unit.num_verification_edges} verification edges)"
+            )
+    print(f"matching order: {plan.matching_order()}")
+    return 0
+
+
+def _cmd_labeled(args: argparse.Namespace) -> int:
+    from repro.enumeration.backtracking import EnumerationStats
+    from repro.enumeration.labeled import LabeledPattern, labeled_embeddings
+    from repro.graph.labeled import label_randomly
+
+    graph = load_graph(args.graph)
+    pattern = named_patterns().get(args.query)
+    if pattern is None:
+        raise SystemExit(f"unknown query {args.query!r}")
+    data = label_randomly(graph, args.num_labels, seed=args.label_seed)
+    try:
+        qlabels = [int(x) for x in args.query_labels.split(",")]
+    except ValueError:
+        raise SystemExit("--query-labels must be comma-separated integers")
+    if len(qlabels) != pattern.num_vertices:
+        raise SystemExit(
+            f"query {args.query!r} needs {pattern.num_vertices} labels, "
+            f"got {len(qlabels)}"
+        )
+    if any(not 0 <= x < args.num_labels for x in qlabels):
+        raise SystemExit(
+            f"query labels must lie in [0, {args.num_labels})"
+        )
+    stats = EnumerationStats()
+    matches = labeled_embeddings(
+        data, LabeledPattern(pattern, qlabels),
+        limit=args.limit, stats=stats,
+    )
+    print(
+        f"{len(matches)} labeled embeddings of {pattern.name} "
+        f"(labels {qlabels}) in {data}"
+    )
+    print(
+        f"backtracking calls: {stats.recursive_calls}, "
+        f"candidates scanned: {stats.candidates_scanned}"
+    )
+    for emb in sorted(matches)[: args.show]:
+        print("  ", emb)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.graph import diameter_lower_bound, triangle_count
+
+    graph = load_graph(args.graph)
+    print(f"vertices: {graph.num_vertices}")
+    print(f"edges: {graph.num_edges}")
+    print(f"average degree: {graph.average_degree():.2f}")
+    print(f"max degree: {int(graph.degrees().max())}")
+    print(f"diameter (lower bound): {diameter_lower_bound(graph)}")
+    if graph.num_edges < 500_000:
+        print(f"triangles: {triangle_count(graph)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RADS distributed subgraph enumeration (VLDB 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset")
+    gen.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    enum = sub.add_parser("enumerate", help="run an engine on a graph")
+    enum.add_argument("--graph", required=True)
+    enum.add_argument("--query", required=True)
+    enum.add_argument("--engine", default="RADS")
+    enum.add_argument("--machines", type=int, default=10)
+    enum.add_argument("--memory-mb", type=int, default=None)
+    enum.add_argument("--straggler", type=float, default=1.0,
+                      help="slow machine 0 down by this factor")
+    enum.add_argument("--show", type=int, default=0,
+                      help="print up to N embeddings")
+    enum.set_defaults(func=_cmd_enumerate)
+
+    plan = sub.add_parser("plan", help="inspect execution plans for a query")
+    plan.add_argument("--query", required=True)
+    plan.add_argument("--graph", default=None,
+                      help="optional graph for cardinality estimates")
+    plan.set_defaults(func=_cmd_plan)
+
+    labeled = sub.add_parser(
+        "labeled", help="labeled matching with synthetic labels"
+    )
+    labeled.add_argument("--graph", required=True)
+    labeled.add_argument("--query", required=True)
+    labeled.add_argument("--query-labels", required=True,
+                         help="comma-separated label per query vertex")
+    labeled.add_argument("--num-labels", type=int, default=3)
+    labeled.add_argument("--label-seed", type=int, default=0)
+    labeled.add_argument("--limit", type=int, default=None)
+    labeled.add_argument("--show", type=int, default=0)
+    labeled.set_defaults(func=_cmd_labeled)
+
+    profile = sub.add_parser("profile", help="print graph statistics")
+    profile.add_argument("--graph", required=True)
+    profile.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

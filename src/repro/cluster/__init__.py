@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation of a compute cluster.
+
+This package substitutes for the paper's 10-node MPI cluster.  Machines have
+virtual clocks; engines charge compute operations, message latency, transfer
+bytes and memory allocations to them.  Synchronous engines use barriers
+(reproducing synchronisation delay); RADS runs machines asynchronously with
+daemon threads serving remote requests.
+"""
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.machine import Machine, SimulatedMemoryError
+from repro.cluster.network import Network
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "CostModel",
+    "Machine",
+    "SimulatedMemoryError",
+    "Network",
+    "Cluster",
+]

@@ -1,0 +1,184 @@
+"""The embedding trie (paper Sec. 5, Def. 11).
+
+Intermediate results (embeddings and embedding candidates) are stored as a
+collection of trees whose level-``j`` nodes hold the data vertex matched to
+the ``j``-th query vertex of the matching order.  Nodes keep only a data
+vertex, a parent pointer and a child count — exactly the fields of Def. 11 —
+so removal is a cascade up the parent chain and each leaf is a unique
+result ID.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+#: Simulated per-node footprint: 8 B vertex + 8 B parent pointer + 4 B child
+#: count, padded.  Used for the compression tables (Tables 3-4) and for
+#: memory accounting.
+NODE_BYTES = 24
+
+#: Per-result container overhead of the naive embedding-list representation
+#: (a variable-length row needs a header/pointer block; e.g. a C++
+#: ``std::vector`` costs three pointers on 64-bit).
+LIST_ENTRY_OVERHEAD = 24
+
+
+class TrieNode:
+    """One embedding-trie node."""
+
+    __slots__ = ("v", "parent", "child_count")
+
+    def __init__(self, v: int, parent: "TrieNode | None"):
+        self.v = v
+        self.parent = parent
+        self.child_count = 0
+
+    def path(self) -> list[int]:
+        """Data vertices from the root down to (and including) this node."""
+        values: list[int] = []
+        node: TrieNode | None = self
+        while node is not None:
+            values.append(node.v)
+            node = node.parent
+        values.reverse()
+        return values
+
+    def depth(self) -> int:
+        """Level of the node (root = 0)."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+
+class EmbeddingTrie:
+    """A forest of :class:`TrieNode` trees with memory accounting hooks."""
+
+    def __init__(self) -> None:
+        self._roots: dict[int, TrieNode] = {}
+        self.num_nodes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_roots(self) -> int:
+        """Number of trees (distinct first-vertex matches)."""
+        return len(self._roots)
+
+    def memory_bytes(self) -> int:
+        """Simulated footprint of the trie."""
+        return self.num_nodes * NODE_BYTES
+
+    def roots(self) -> Iterator[TrieNode]:
+        """Iterate root nodes."""
+        return iter(self._roots.values())
+
+    # ------------------------------------------------------------------
+    def add_root(self, v: int) -> TrieNode:
+        """Fetch-or-create the root for first-level vertex ``v``."""
+        node = self._roots.get(v)
+        if node is None:
+            node = TrieNode(v, None)
+            self._roots[v] = node
+            self.num_nodes += 1
+        return node
+
+    def add_child(self, parent: TrieNode, v: int) -> TrieNode:
+        """Create a child node.
+
+        Expansion code guarantees sibling values are distinct (the
+        backtracking enumeration never revisits a candidate), which upholds
+        Def. 11 condition (3) without storing a children map.
+        """
+        node = TrieNode(v, parent)
+        parent.child_count += 1
+        self.num_nodes += 1
+        return node
+
+    def extend_path(self, parent: TrieNode | None, values: Iterable[int]) -> TrieNode:
+        """Append a chain of nodes below ``parent`` (root chain if None)."""
+        node = parent
+        for v in values:
+            if node is None:
+                node = self.add_root(v)
+            else:
+                node = self.add_child(node, v)
+        if node is None:
+            raise ValueError("empty path")
+        return node
+
+    def detach_childless(self, child: TrieNode) -> int:
+        """Remove exactly one childless node without cascading.
+
+        Used mid-expansion (Algorithm 2): the parent is still being extended
+        with further candidates, so its transiently-zero child count must
+        not trigger an upward cascade.
+        """
+        if child.child_count != 0:
+            raise ValueError("node still has children")
+        parent = child.parent
+        if parent is None:
+            if self._roots.get(child.v) is child:
+                del self._roots[child.v]
+        else:
+            parent.child_count -= 1
+        child.parent = None
+        self.num_nodes -= 1
+        return 1
+
+    def remove_leaf(self, leaf: TrieNode) -> int:
+        """Remove a result; cascades up while parents lose their last child.
+
+        Returns the number of nodes removed (for memory release).
+        """
+        removed = 0
+        node: TrieNode | None = leaf
+        while node is not None and node.child_count == 0:
+            parent = node.parent
+            if parent is None:
+                if self._roots.get(node.v) is node:
+                    del self._roots[node.v]
+            else:
+                parent.child_count -= 1
+            node.parent = None
+            removed += 1
+            node = parent
+        self.num_nodes -= removed
+        return removed
+
+    # ------------------------------------------------------------------
+    def leaves_at_depth(self, depth: int) -> list[TrieNode]:
+        """All nodes at ``depth`` (a full scan; used by tests, not hot paths)."""
+        result: list[TrieNode] = []
+
+        def walk(node: TrieNode, d: int, children: dict) -> None:
+            if d == depth:
+                result.append(node)
+
+        # Without child pointers a scan requires an auxiliary index, so
+        # tests use the frontier lists maintained by R-Meef instead;
+        # this helper only works for depth 0.
+        if depth == 0:
+            return list(self._roots.values())
+        raise NotImplementedError(
+            "trie nodes store no child pointers; track frontiers externally"
+        )
+
+
+def embedding_list_bytes(count: int, num_query_vertices: int) -> int:
+    """Footprint of the naive embedding-list (EL) representation."""
+    return count * (num_query_vertices * 8 + LIST_ENTRY_OVERHEAD)
+
+
+def trie_nodes_for_results(results: list[tuple[int, ...]]) -> int:
+    """Nodes an embedding trie needs for ``results`` (prefix-tree size).
+
+    Used by the compression experiment (Tables 3-4): results sharing
+    prefixes in matching order share trie nodes.
+    """
+    seen: set[tuple[int, ...]] = set()
+    for emb in results:
+        for i in range(1, len(emb) + 1):
+            seen.add(emb[:i])
+    return len(seen)

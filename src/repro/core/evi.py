@@ -1,0 +1,74 @@
+"""Edge verification index (paper Def. 5).
+
+Maps each *undetermined* data edge — an edge whose two endpoints both lack
+locally-known adjacency — to the embedding candidates (trie leaves) whose
+validity depends on it.  One `verifyE` round trip per remote machine then
+settles every EC sharing that edge (Prop. 2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable
+
+from repro.core.embedding_trie import TrieNode
+
+
+class EdgeVerificationIndex:
+    """Key: undetermined edge ``(min, max)``; value: dependent trie leaves."""
+
+    def __init__(self) -> None:
+        self._index: dict[tuple[int, int], list[TrieNode]] = defaultdict(list)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        return self._normalise(edge) in self._index
+
+    @staticmethod
+    def _normalise(edge: tuple[int, int]) -> tuple[int, int]:
+        a, b = edge
+        return (a, b) if a <= b else (b, a)
+
+    def add(self, edge: tuple[int, int], leaf: TrieNode) -> None:
+        """Register that ``leaf``'s EC requires ``edge`` to exist."""
+        self._index[self._normalise(edge)].append(leaf)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All undetermined edges (the verifyE request payload)."""
+        return list(self._index.keys())
+
+    def leaves_for(self, edge: tuple[int, int]) -> list[TrieNode]:
+        """ECs depending on ``edge``."""
+        return self._index.get(self._normalise(edge), [])
+
+    def group_by_machine(
+        self, owner_of: Callable[[int], int]
+    ) -> dict[int, list[tuple[int, int]]]:
+        """Partition keys by a machine able to verify them.
+
+        Either endpoint's owner can verify the edge; we use the owner of the
+        smaller endpoint, which keeps batches deterministic.
+        """
+        groups: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for a, b in self._index:
+            groups[owner_of(a)].append((a, b))
+        return dict(groups)
+
+    def failed_leaves(
+        self, failed_edges: Iterable[tuple[int, int]]
+    ) -> list[TrieNode]:
+        """All ECs invalidated by the non-existent edges (dedup by identity)."""
+        seen: set[int] = set()
+        result: list[TrieNode] = []
+        for edge in failed_edges:
+            for leaf in self._index.get(self._normalise(edge), []):
+                if id(leaf) not in seen:
+                    seen.add(id(leaf))
+                    result.append(leaf)
+        return result
+
+    def clear(self) -> None:
+        """Reset for the next round."""
+        self._index.clear()

@@ -1,0 +1,193 @@
+"""RADS engine: SM-E split + asynchronous R-Meef with region-group
+work stealing (paper Sec. 3, 6 and the checkR/shareR protocol).
+
+Machines run independently on their own virtual clocks — there are no
+barriers anywhere.  The scheduler always advances the machine with the
+smallest clock, which is exactly how an asynchronous cluster interleaves;
+an idle machine broadcasts `checkR` and steals a region group (`shareR`)
+from the most loaded peer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import SimulatedMemoryError
+from repro.core.cache import ForeignVertexCache
+from repro.core.region import MemoryEstimator, RegionGrouper
+from repro.core.rmeef import RMeefWorker
+from repro.core.sme import SingleMachineSplit
+from repro.engines.base import EnumerationEngine
+from repro.query.pattern import Pattern
+from repro.query.plan import ExecutionPlan, best_execution_plan
+
+#: Default simulated memory budget when the cluster has no explicit cap.
+DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+class RADSEngine(EnumerationEngine):
+    """Robust Asynchronous Distributed Subgraph enumeration."""
+
+    name = "RADS"
+
+    def __init__(
+        self,
+        plan_provider: Callable[[Pattern], ExecutionPlan] | None = None,
+        enable_sme: bool = True,
+        enable_work_stealing: bool = True,
+        results_budget_fraction: float = 0.45,
+        cache_budget_fraction: float = 0.35,
+        min_groups_per_machine: int = 4,
+        grouping: str = "proximity",
+        seed: int = 0,
+    ):
+        self._plan_provider = plan_provider or best_execution_plan
+        self._enable_sme = enable_sme
+        self._enable_work_stealing = enable_work_stealing
+        self._results_fraction = results_budget_fraction
+        self._cache_fraction = cache_budget_fraction
+        #: Region-group construction strategy ("proximity" per Algorithm 3,
+        #: or "random" — the naive grouping of Sec. 6 — for ablations).
+        self._grouping = grouping
+        # Even when memory is plentiful, keep a few groups per machine so
+        # checkR/shareR has units of work to rebalance (a machine's whole
+        # workload in one group cannot be shared).
+        self._min_groups = max(1, min_groups_per_machine)
+        self._seed = seed
+        self.last_plan: ExecutionPlan | None = None
+
+    # ------------------------------------------------------------------
+    def _budgets(self, cluster: Cluster) -> tuple[float, float]:
+        capacity = cluster.memory_capacity
+        if capacity is None:
+            capacity = DEFAULT_BUDGET_BYTES
+        return (
+            capacity * self._results_fraction,
+            capacity * self._cache_fraction,
+        )
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        pattern: Pattern,
+        constraints: list[tuple[int, int]],
+        collect: bool,
+    ) -> list[tuple[int, ...]]:
+        plan = self._plan_provider(pattern)
+        self.last_plan = plan
+        split = SingleMachineSplit(pattern, plan, constraints)
+        results_budget, cache_budget = self._budgets(cluster)
+        results: list[tuple[int, ...]] = []
+        self._count = 0
+        queues: dict[int, deque[list[int]]] = {}
+
+        # Phase 1 (per machine, independent): SM-E and region grouping.
+        for t in range(cluster.num_machines):
+            local = cluster.partition.machine(t)
+            machine = cluster.machine(t)
+            estimator = MemoryEstimator(len(plan.units[0].leaves))
+            if self._enable_sme:
+                sme = split.run(local, machine, estimator)
+                if collect:
+                    results.extend(sme.embeddings)
+                self._count += len(sme.embeddings)
+                distributed = sme.distributed_candidates
+            else:
+                distributed = split.candidates(local)
+            machine.charge_ops(len(distributed), "grouping_ops")
+            total_estimate = sum(
+                estimator.estimate_bytes(local.degree(v)) for v in distributed
+            )
+            budget = min(
+                results_budget,
+                max(1.0, total_estimate / self._min_groups),
+            )
+            grouper = RegionGrouper(
+                adjacency=local.graph.neighbors,
+                estimator=estimator,
+                budget_bytes=budget,
+                seed=self._seed + t,
+                strategy=self._grouping,
+            )
+            queues[t] = deque(grouper.groups(distributed))
+
+        # Phase 2 (asynchronous): process region groups, stealing when idle.
+        workers = {
+            t: RMeefWorker(
+                cluster, pattern, plan, constraints, t,
+                ForeignVertexCache(int(cache_budget)),
+                flush_threshold=results_budget / 2,
+            )
+            for t in range(cluster.num_machines)
+        }
+        done: set[int] = set()
+        model = cluster.cost_model
+        while len(done) < cluster.num_machines:
+            executor = min(
+                (t for t in range(cluster.num_machines) if t not in done),
+                key=lambda t: cluster.machine(t).clock,
+            )
+            if queues[executor]:
+                group = queues[executor].popleft()
+            elif self._enable_work_stealing:
+                # Stealing a group means fetching all its candidates'
+                # adjacency remotely, so it only pays off against a real
+                # backlog: steal from machines with at least two pending
+                # groups (the checkR counts tell us).
+                victims = [
+                    t for t in range(cluster.num_machines)
+                    if t != executor and len(queues[t]) >= 2
+                ]
+                if not victims:
+                    done.add(executor)
+                    continue
+                # checkR: broadcast probe for unprocessed group counts.
+                cluster.network.broadcast(
+                    cluster.machine(executor),
+                    cluster.machines,
+                    nbytes=8,
+                )
+                victim = max(victims, key=lambda t: len(queues[t]))
+                group = queues[victim].popleft()
+                # shareR: the stolen group's candidate ids cross the wire.
+                cluster.network.rpc(
+                    requester=cluster.machine(executor),
+                    responder=cluster.machine(victim),
+                    request_bytes=8,
+                    response_bytes=len(group) * model.bytes_per_vertex_id,
+                    service_ops=float(len(group)),
+                )
+            else:
+                done.add(executor)
+                continue
+            self._run_group(workers[executor], group, collect, results)
+        return results
+
+    def _run_group(
+        self,
+        worker: RMeefWorker,
+        group: list[int],
+        collect: bool,
+        results: list[tuple[int, ...]],
+    ) -> None:
+        """Process a region group, splitting and retrying on simulated OOM.
+
+        The memory estimate behind region grouping is only an estimate
+        (Sec. 6); when a group's actual trie outgrows the capacity, halving
+        it restores the invariant the estimate was meant to uphold.  A
+        single-candidate group that still does not fit is a genuine OOM.
+        """
+        try:
+            found = worker.process_group(group, collect)
+        except SimulatedMemoryError:
+            if len(group) <= 1:
+                raise
+            mid = len(group) // 2
+            self._run_group(worker, group[:mid], collect, results)
+            self._run_group(worker, group[mid:], collect, results)
+            return
+        if collect:
+            results.extend(found)
+        self._count += worker.last_group_count

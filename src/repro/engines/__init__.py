@@ -1,0 +1,65 @@
+"""Distributed subgraph-enumeration engines: RADS and the four baselines."""
+
+from repro.engines.base import EnumerationEngine, RunResult
+from repro.engines.single import SingleMachineEngine
+from repro.engines.psgl import PSgLEngine
+from repro.engines.twintwig import TwinTwigEngine
+from repro.engines.seed import SEEDEngine
+from repro.engines.crystal import CliqueIndex, CrystalEngine
+from repro.engines.multiway import MultiwayJoinEngine, compute_shares
+from repro.engines.replication import ReplicationEngine
+
+__all__ = [
+    "EnumerationEngine",
+    "RunResult",
+    "SingleMachineEngine",
+    "PSgLEngine",
+    "TwinTwigEngine",
+    "SEEDEngine",
+    "CrystalEngine",
+    "CliqueIndex",
+    "MultiwayJoinEngine",
+    "ReplicationEngine",
+    "compute_shares",
+    "RADSEngine",
+]
+
+
+def __getattr__(name: str):
+    # RADSEngine lives in repro.core, which itself imports engines.base;
+    # resolving it lazily keeps the import graph acyclic.
+    if name == "RADSEngine":
+        from repro.core.rads import RADSEngine
+
+        return RADSEngine
+    raise AttributeError(name)
+
+
+def all_engines() -> dict[str, type]:
+    """Name -> engine class for the five approaches of the paper's Sec. 7."""
+    from repro.core.rads import RADSEngine
+
+    return {
+        "RADS": RADSEngine,
+        "PSgL": PSgLEngine,
+        "TwinTwig": TwinTwigEngine,
+        "SEED": SEEDEngine,
+        "Crystal": CrystalEngine,
+    }
+
+
+def extended_engines() -> dict[str, type]:
+    """The Sec. 7 engines plus the Sec. 8 related-work extensions.
+
+    Adds BigJoin (Ammar et al.), the Afrati-Ullman single-round multiway
+    join, and Fan et al.'s d-hop replication engine — the approaches the
+    paper discusses but does not race.
+    """
+    from repro.engines.bigjoin import BigJoinEngine
+
+    return {
+        **all_engines(),
+        "BigJoin": BigJoinEngine,
+        "Multiway": MultiwayJoinEngine,
+        "Replication": ReplicationEngine,
+    }

@@ -1,0 +1,113 @@
+"""Engine interface and result record shared by all five approaches."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import SimulatedMemoryError
+from repro.query.pattern import Pattern
+from repro.query.symmetry import symmetry_breaking_constraints
+
+
+@dataclass
+class RunResult:
+    """Outcome of one enumeration run on a simulated cluster.
+
+    ``makespan`` and ``total_comm_bytes`` are the quantities plotted in the
+    paper's Figs. 8-11; ``failed`` marks simulated out-of-memory runs (the
+    paper's empty bars).
+    """
+
+    engine: str
+    pattern_name: str
+    embedding_count: int
+    makespan: float
+    total_comm_bytes: int
+    peak_memory: int
+    per_machine_time: list[float]
+    embeddings: list[tuple[int, ...]] | None = None
+    failed: bool = False
+    failure: str | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def comm_mb(self) -> float:
+        """Communication volume in megabytes."""
+        return self.total_comm_bytes / 1e6
+
+    def summary(self) -> str:
+        """One-line, paper-table-style summary."""
+        if self.failed:
+            return (
+                f"{self.engine:>9} {self.pattern_name:>6}  OOM "
+                f"({self.failure})"
+            )
+        return (
+            f"{self.engine:>9} {self.pattern_name:>6}  "
+            f"time={self.makespan:10.3f}s  comm={self.comm_mb:9.3f}MB  "
+            f"peak={self.peak_memory / 1e6:8.2f}MB  "
+            f"emb={self.embedding_count}"
+        )
+
+
+class EnumerationEngine(ABC):
+    """A distributed subgraph-enumeration approach."""
+
+    name: str = "engine"
+
+    @abstractmethod
+    def _execute(
+        self,
+        cluster: Cluster,
+        pattern: Pattern,
+        constraints: list[tuple[int, int]],
+        collect: bool,
+    ) -> list[tuple[int, ...]]:
+        """Run the algorithm; return embeddings (empty list when not collecting,
+        in which case ``self._count`` must be set)."""
+
+    def run(
+        self,
+        cluster: Cluster,
+        pattern: Pattern,
+        collect_embeddings: bool = True,
+    ) -> RunResult:
+        """Execute on ``cluster`` and package stats into a RunResult.
+
+        Simulated OOM is caught and reported as a failed run rather than an
+        exception, matching how the paper reports crashed competitors.
+        """
+        constraints = symmetry_breaking_constraints(pattern)
+        self._count = 0
+        try:
+            embeddings = self._execute(
+                cluster, pattern, constraints, collect_embeddings
+            )
+        except SimulatedMemoryError as exc:
+            return RunResult(
+                engine=self.name,
+                pattern_name=pattern.name,
+                embedding_count=0,
+                makespan=cluster.makespan(),
+                total_comm_bytes=cluster.total_comm_bytes(),
+                peak_memory=cluster.peak_memory(),
+                per_machine_time=[m.finish_time for m in cluster.machines],
+                failed=True,
+                failure=str(exc),
+            )
+        count = len(embeddings) if collect_embeddings else self._count
+        return RunResult(
+            engine=self.name,
+            pattern_name=pattern.name,
+            embedding_count=count,
+            makespan=cluster.makespan(),
+            total_comm_bytes=cluster.total_comm_bytes(),
+            peak_memory=cluster.peak_memory(),
+            per_machine_time=[m.finish_time for m in cluster.machines],
+            embeddings=embeddings if collect_embeddings else None,
+            counters=dict(
+                sum((m.counters for m in cluster.machines), start=type(cluster.machines[0].counters)())
+            ),
+        )

@@ -1,0 +1,380 @@
+"""Shared machinery for the join-based baselines (TwinTwig, SEED).
+
+Both engines follow the same MapReduce skeleton: compute per-machine
+instances of each decomposition unit locally, then run multi-round hash
+joins where *both* join sides are shuffled by join key — the intermediate
+result explosion and synchronisation delay the paper attributes to them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.query.pattern import Pattern
+from repro.query.symmetry import constraint_map
+
+#: Allocation granularity while materialising tuples: memory is claimed in
+#: chunks so an over-capacity run fails fast instead of materialising
+#: everything first.
+ALLOC_CHUNK = 4096
+
+
+@dataclass
+class JoinUnit:
+    """One decomposition unit: ordered query vertices + the edges it covers."""
+
+    vertices: tuple[int, ...]
+    covered_edges: tuple[tuple[int, int], ...]
+    kind: str  # "star" or "clique"
+
+    @property
+    def pivot(self) -> int:
+        """First vertex (the star centre / clique anchor)."""
+        return self.vertices[0]
+
+
+class ConstraintChecker:
+    """Symmetry-breaking checks compiled to positional pairs per schema."""
+
+    def __init__(self, pattern: Pattern, constraints: list[tuple[int, int]]):
+        self._constraints = constraints
+        self._smaller, self._greater = constraint_map(
+            constraints, pattern.num_vertices
+        )
+        self._pair_cache: dict[tuple[int, ...], list[tuple[int, int]]] = {}
+
+    def pairs(self, vertices: tuple[int, ...]) -> list[tuple[int, int]]:
+        """Positional pairs ``(i, j)`` requiring ``tup[i] < tup[j]``."""
+        cached = self._pair_cache.get(vertices)
+        if cached is None:
+            pos = {u: i for i, u in enumerate(vertices)}
+            cached = [
+                (pos[u], pos[v])
+                for u, v in self._constraints
+                if u in pos and v in pos
+            ]
+            self._pair_cache[vertices] = cached
+        return cached
+
+    @staticmethod
+    def ok_tuple(tup: tuple[int, ...], pairs: list[tuple[int, int]]) -> bool:
+        """Check the compiled pairs against a concrete tuple."""
+        for i, j in pairs:
+            if tup[i] >= tup[j]:
+                return False
+        return True
+
+
+class DistributedJoinRunner:
+    """Executes a unit sequence as synchronised hash-join rounds."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pattern: Pattern,
+        constraints: list[tuple[int, int]],
+    ):
+        self.cluster = cluster
+        self.pattern = pattern
+        self.checker = ConstraintChecker(pattern, constraints)
+        self._model = cluster.cost_model
+
+    # ------------------------------------------------------------------
+    # Unit instance generation
+    # ------------------------------------------------------------------
+    def star_instances(
+        self, machine_id: int, star: JoinUnit
+    ) -> list[tuple[int, ...]]:
+        """Instances of a star unit from this machine's owned vertices.
+
+        The star centre is matched to owned vertices; leaves come from the
+        (local) adjacency list.  Memory is allocated in chunks so that an
+        explosion hits the simulated capacity quickly.
+        """
+        local = self.cluster.partition.machine(machine_id)
+        machine = self.cluster.machine(machine_id)
+        pivot, leaves = star.vertices[0], star.vertices[1:]
+        tuple_bytes = self._model.embedding_bytes(len(star.vertices))
+        min_degree = self.pattern.degree(pivot)
+        pairs = self.checker.pairs(star.vertices)
+        instances: list[tuple[int, ...]] = []
+        ops = 0
+        allocated = 0
+
+        def note_instance(inst: tuple[int, ...]) -> None:
+            nonlocal allocated
+            if not self.checker.ok_tuple(inst, pairs):
+                return
+            instances.append(inst)
+            if len(instances) - allocated >= ALLOC_CHUNK:
+                machine.allocate(ALLOC_CHUNK * tuple_bytes, "unit_bytes")
+                allocated += ALLOC_CHUNK
+
+        for v in local.owned_vertices:
+            v = int(v)
+            adjacency = local.neighbors(v)
+            ops += 1
+            if len(adjacency) < min_degree:
+                continue
+
+            def descend(idx: int, chosen: tuple[int, ...]) -> None:
+                nonlocal ops
+                if idx == len(leaves):
+                    note_instance((v,) + chosen)
+                    return
+                for w in adjacency:
+                    w = int(w)
+                    ops += 1
+                    if w == v or w in chosen:
+                        continue
+                    descend(idx + 1, chosen + (w,))
+
+            descend(0, ())
+        machine.allocate((len(instances) - allocated) * tuple_bytes, "unit_bytes")
+        machine.charge_ops(ops, "unit_ops")
+        return instances
+
+    def clique_instances(
+        self, machine_id: int, unit: JoinUnit
+    ) -> list[tuple[int, ...]]:
+        """Instances of a clique unit anchored at owned vertices.
+
+        SEED's star-clique-preserved storage replicates the edges among a
+        vertex's neighbours, so a machine can list cliques around its owned
+        vertices without communication.  The anchor (first unit vertex) is
+        matched to owned vertices; remaining clique members are enumerated
+        from the intersection of all previously matched members' adjacency.
+        """
+        local = self.cluster.partition.machine(machine_id)
+        machine = self.cluster.machine(machine_id)
+        graph = self.cluster.graph
+        k = len(unit.vertices)
+        tuple_bytes = self._model.embedding_bytes(k)
+        min_degree = self.pattern.degree(unit.pivot)
+        pairs = self.checker.pairs(unit.vertices)
+        instances: list[tuple[int, ...]] = []
+        ops = 0
+        allocated = 0
+
+        def note_instance(inst: tuple[int, ...]) -> None:
+            nonlocal allocated
+            if not self.checker.ok_tuple(inst, pairs):
+                return
+            instances.append(inst)
+            if len(instances) - allocated >= ALLOC_CHUNK:
+                machine.allocate(ALLOC_CHUNK * tuple_bytes, "unit_bytes")
+                allocated += ALLOC_CHUNK
+
+        for v in local.owned_vertices:
+            v = int(v)
+            adjacency = local.neighbors(v)
+            ops += 1
+            if len(adjacency) < min_degree:
+                continue
+
+            def descend(idx: int, chosen: tuple[int, ...], common: np.ndarray) -> None:
+                nonlocal ops
+                if idx == k:
+                    note_instance(chosen)
+                    return
+                ops += len(common)
+                for w in common:
+                    w = int(w)
+                    if w in chosen:
+                        continue
+                    nxt = np.intersect1d(
+                        common, graph.neighbors(w), assume_unique=True
+                    )
+                    ops += min(len(common), graph.degree(w))
+                    descend(idx + 1, chosen + (w,), nxt)
+
+            descend(1, (v,), adjacency)
+        machine.allocate((len(instances) - allocated) * tuple_bytes, "unit_bytes")
+        machine.charge_ops(ops, "unit_ops")
+        return instances
+
+    # ------------------------------------------------------------------
+    # Hash join rounds
+    # ------------------------------------------------------------------
+    def join_round(
+        self,
+        left: dict[int, list[tuple[int, ...]]],
+        left_vertices: tuple[int, ...],
+        right: dict[int, list[tuple[int, ...]]],
+        right_unit: JoinUnit,
+    ) -> tuple[dict[int, list[tuple[int, ...]]], tuple[int, ...]]:
+        """One MapReduce join: shuffle both sides by key, join locally.
+
+        Returns the partitioned result and its query-vertex schema.
+        """
+        cluster = self.cluster
+        num_machines = cluster.num_machines
+        model = self._model
+        right_vertices = right_unit.vertices
+        shared = tuple(v for v in right_vertices if v in left_vertices)
+        if not shared:
+            raise ValueError("join units must share at least one vertex")
+        left_pos = {u: i for i, u in enumerate(left_vertices)}
+        right_pos = {u: i for i, u in enumerate(right_vertices)}
+        out_vertices = left_vertices + tuple(
+            v for v in right_vertices if v not in left_vertices
+        )
+        new_right = [v for v in right_vertices if v not in left_vertices]
+
+        def key_of(tup: tuple[int, ...], pos: dict[int, int]) -> tuple[int, ...]:
+            return tuple(tup[pos[u]] for u in shared)
+
+        # Shuffle phase: both sides routed by hash of the join key.  Tuples
+        # are *grouped by key* before hitting the wire, so each distinct key
+        # is shipped once and tuples carry only their non-key columns (the
+        # paper, Exp-1: "the grouped intermediate results of TwinTwig and
+        # SEED significantly reduced the cost of network traffic").
+        shuffled_left: dict[int, dict[tuple, list[tuple[int, ...]]]] = {
+            t: defaultdict(list) for t in range(num_machines)
+        }
+        shuffled_right: dict[int, dict[tuple, list[tuple[int, ...]]]] = {
+            t: defaultdict(list) for t in range(num_machines)
+        }
+        payload = np.zeros((num_machines, num_machines), dtype=np.int64)
+        key_bytes = model.embedding_bytes(len(shared))
+        lpayload = model.embedding_bytes(len(left_vertices) - len(shared))
+        rpayload = model.embedding_bytes(len(right_vertices) - len(shared))
+        for t in range(num_machines):
+            machine = cluster.machine(t)
+            lbytes = model.embedding_bytes(len(left_vertices))
+            rbytes = model.embedding_bytes(len(right_vertices))
+            sent_keys: set[tuple[tuple, int]] = set()
+            for tup in left[t]:
+                key = key_of(tup, left_pos)
+                dst = hash(key) % num_machines
+                shuffled_left[dst][key].append(tup)
+                payload[t, dst] += lpayload
+                if (key, dst) not in sent_keys:
+                    sent_keys.add((key, dst))
+                    payload[t, dst] += key_bytes
+            # A star side joined on its pivot ships in *compressed* form:
+            # one adjacency list per centre instead of deg^2 materialised
+            # tuples (TwinTwig generates star instances lazily from the
+            # adjacency list at the reducer).
+            star_compressed = (
+                right_unit.kind == "star"
+                and shared == (right_unit.pivot,)
+            )
+            for tup in right[t]:
+                key = key_of(tup, right_pos)
+                dst = hash(key) % num_machines
+                shuffled_right[dst][key].append(tup)
+                if not star_compressed:
+                    payload[t, dst] += rpayload
+                if (key, dst) not in sent_keys:
+                    sent_keys.add((key, dst))
+                    payload[t, dst] += key_bytes
+                    if star_compressed:
+                        centre = tup[0]
+                        payload[t, dst] += model.adjacency_bytes(
+                            cluster.graph.degree(centre)
+                        )
+            machine.charge_ops(len(left[t]) + len(right[t]), "shuffle_ops")
+            machine.free(len(left[t]) * lbytes + len(right[t]) * rbytes)
+        for t in range(num_machines):
+            incoming = (
+                sum(len(v) for v in shuffled_left[t].values())
+                * model.embedding_bytes(len(left_vertices))
+                + sum(len(v) for v in shuffled_right[t].values())
+                * model.embedding_bytes(len(right_vertices))
+            )
+            cluster.machine(t).allocate(incoming, "grouped_bytes")
+        cluster.network.shuffle(cluster.machines, payload)
+
+        # Reduce phase: local hash join with injectivity + constraints.
+        out_bytes = model.embedding_bytes(len(out_vertices))
+        out_pairs = self.checker.pairs(out_vertices)
+        result: dict[int, list[tuple[int, ...]]] = {}
+        for t in range(num_machines):
+            machine = cluster.machine(t)
+            joined: list[tuple[int, ...]] = []
+            ops = 0
+            allocated = 0
+            for key, lefts in shuffled_left[t].items():
+                rights = shuffled_right[t].get(key)
+                if not rights:
+                    continue
+                for ltup in lefts:
+                    lset = set(ltup)
+                    for rtup in rights:
+                        ops += 1
+                        extension = []
+                        ok = True
+                        for u in new_right:
+                            value = rtup[right_pos[u]]
+                            if value in lset or value in extension:
+                                ok = False
+                                break
+                            extension.append(value)
+                        if not ok:
+                            continue
+                        candidate = ltup + tuple(extension)
+                        if not self.checker.ok_tuple(candidate, out_pairs):
+                            continue
+                        joined.append(candidate)
+                        if len(joined) - allocated >= ALLOC_CHUNK:
+                            machine.allocate(
+                                ALLOC_CHUNK * out_bytes, "joined_bytes"
+                            )
+                            allocated += ALLOC_CHUNK
+            machine.allocate((len(joined) - allocated) * out_bytes, "joined_bytes")
+            machine.charge_ops(ops, "join_ops")
+            # Inputs grouped at this reducer are released after the join.
+            grouped = (
+                sum(len(v) for v in shuffled_left[t].values())
+                * model.embedding_bytes(len(left_vertices))
+                + sum(len(v) for v in shuffled_right[t].values())
+                * model.embedding_bytes(len(right_vertices))
+            )
+            machine.free(grouped)
+            result[t] = joined
+        cluster.barrier()
+        return result, out_vertices
+
+    # ------------------------------------------------------------------
+    def run_units(
+        self,
+        units: list[JoinUnit],
+        collect: bool,
+    ) -> tuple[list[tuple[int, ...]], int]:
+        """Left-deep evaluation of the unit sequence; returns (results, count)."""
+        cluster = self.cluster
+        num_machines = cluster.num_machines
+
+        def instances_of(unit: JoinUnit) -> dict[int, list[tuple[int, ...]]]:
+            per_machine = {}
+            for t in range(num_machines):
+                if unit.kind == "clique" and len(unit.vertices) > 2:
+                    per_machine[t] = self.clique_instances(t, unit)
+                else:
+                    per_machine[t] = self.star_instances(t, unit)
+            cluster.barrier()
+            return per_machine
+
+        current = instances_of(units[0])
+        current_vertices = units[0].vertices
+        for unit in units[1:]:
+            right = instances_of(unit)
+            current, current_vertices = self.join_round(
+                current, current_vertices, right, unit
+            )
+        # Gather final embeddings (canonical tuples indexed by query vertex).
+        n = self.pattern.num_vertices
+        pos = {u: i for i, u in enumerate(current_vertices)}
+        results: list[tuple[int, ...]] = []
+        count = 0
+        for t in range(num_machines):
+            count += len(current[t])
+            if collect:
+                for tup in current[t]:
+                    results.append(tuple(tup[pos[u]] for u in range(n)))
+        return results, count

@@ -1,0 +1,176 @@
+"""PSgL baseline (Shao et al., SIGMOD 2014) — Pregel-style exploration.
+
+The query vertices are matched one per superstep.  Every partial match is
+*shuffled* to the machine owning the candidate data vertex, where the
+backward edges are verified against that vertex's local adjacency; surviving
+partials are routed onward to the machine owning the next expansion anchor.
+Faithful to the paper's characterisation (Sec. 8): no joins, but partial
+matches are shuffled at every step, results are stored uncompressed, and
+there is no memory control.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.engines.base import EnumerationEngine
+from repro.enumeration.backtracking import compute_matching_order
+from repro.query.pattern import Pattern
+from repro.query.symmetry import constraint_map
+
+
+class PSgLEngine(EnumerationEngine):
+    """Parallel subgraph listing via per-superstep partial-match shuffling."""
+
+    name = "PSgL"
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        pattern: Pattern,
+        constraints: list[tuple[int, int]],
+        collect: bool,
+    ) -> list[tuple[int, ...]]:
+        graph = cluster.graph
+        partition = cluster.partition
+        model = cluster.cost_model
+        num_machines = cluster.num_machines
+        order = compute_matching_order(pattern)
+        position = {u: q for q, u in enumerate(order)}
+        smaller, greater = constraint_map(constraints, pattern.num_vertices)
+        n = pattern.num_vertices
+
+        # Expansion anchor per position: the most recently matched pattern
+        # neighbour (so the second routing hop is usually free).
+        anchors = [0] * n
+        backward: list[list[int]] = [[] for _ in range(n)]
+        for q in range(1, n):
+            u = order[q]
+            backs = [position[w] for w in pattern.adj(u) if position[w] < q]
+            backward[q] = sorted(backs)
+            anchors[q] = max(backs)
+
+        def bounds_ok(q: int, v: int, partial: tuple[int, ...]) -> bool:
+            u = order[q]
+            for w in greater[u]:
+                pw = position[w]
+                if pw < q and partial[pw] >= v:
+                    return False
+            for w in smaller[u]:
+                pw = position[w]
+                if pw < q and partial[pw] <= v:
+                    return False
+            return True
+
+        # Superstep 0: seed partials at the owners of candidate vertices.
+        start_degree = pattern.degree(order[0])
+        partials: dict[int, list[tuple[int, ...]]] = defaultdict(list)
+        for t in range(num_machines):
+            local = partition.machine(t)
+            machine = cluster.machine(t)
+            seeds = [
+                (int(v),)
+                for v in local.owned_vertices
+                if local.degree(int(v)) >= start_degree
+            ]
+            machine.charge_ops(len(local.owned_vertices), "seed_ops")
+            machine.allocate(len(seeds) * 8, "partials_bytes")
+            # Route each seed to the owner of its own vertex = already here;
+            # but the *expansion* of position 1 happens at the anchor owner,
+            # which for seeds is the seed vertex itself.
+            partials[t] = seeds
+
+        for q in range(1, n):
+            tuple_bytes = model.embedding_bytes(q + 1)
+            candidate_msgs: dict[int, list[tuple[tuple[int, ...], int]]] = (
+                defaultdict(list)
+            )
+            shuffle_bytes = np.zeros((num_machines, num_machines), dtype=np.int64)
+            # Expansion at the anchor owner.
+            for t in range(num_machines):
+                machine = cluster.machine(t)
+                ops = 0
+                for partial in partials[t]:
+                    anchor_value = partial[anchors[q]]
+                    for v in graph.neighbors(anchor_value):
+                        v = int(v)
+                        ops += 1
+                        if v in partial:
+                            continue
+                        # No further pruning at the source: PSgL ships the
+                        # raw candidate expansion and verifies at the owner
+                        # of the candidate vertex (this lack of compression
+                        # or early filtering is exactly what the paper
+                        # blames for PSgL's traffic, Exp-2).
+                        dst = partition.owner_of(v)
+                        candidate_msgs[dst].append((partial, v))
+                        shuffle_bytes[t, dst] += tuple_bytes
+                machine.charge_ops(ops, "expand_ops")
+                machine.free(len(partials[t]) * model.embedding_bytes(q))
+            # Receivers must hold the incoming candidate volume in memory
+            # before verification (this is PSgL's memory Achilles heel).
+            for t in range(num_machines):
+                cluster.machine(t).allocate(
+                    len(candidate_msgs[t]) * tuple_bytes, "partials_bytes"
+                )
+            cluster.network.shuffle(cluster.machines, shuffle_bytes)
+            # Verification at the candidate owner, then routing onward.
+            next_partials: dict[int, list[tuple[int, ...]]] = defaultdict(list)
+            forward_bytes = np.zeros((num_machines, num_machines), dtype=np.int64)
+            for t in range(num_machines):
+                machine = cluster.machine(t)
+                ops = 0
+                survivors = 0
+                for partial, v in candidate_msgs[t]:
+                    ops += 1
+                    adjacency = graph.neighbors(v)
+                    if len(adjacency) < pattern.degree(order[q]):
+                        continue
+                    if not bounds_ok(q, v, partial):
+                        continue
+                    ok = True
+                    for back in backward[q]:
+                        if back == anchors[q]:
+                            continue
+                        w = partial[back]
+                        idx = int(np.searchsorted(adjacency, w))
+                        ops += 1
+                        if idx >= len(adjacency) or int(adjacency[idx]) != w:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                    extended = partial + (v,)
+                    survivors += 1
+                    if q + 1 < n:
+                        dst = partition.owner_of(extended[anchors[q + 1]])
+                        next_partials[dst].append(extended)
+                        if dst != t:
+                            forward_bytes[t, dst] += model.embedding_bytes(q + 1)
+                    else:
+                        next_partials[t].append(extended)
+                machine.charge_ops(ops, "verify_ops")
+                machine.free(len(candidate_msgs[t]) * tuple_bytes)
+            for t in range(num_machines):
+                cluster.machine(t).allocate(
+                    len(next_partials[t]) * model.embedding_bytes(q + 1),
+                    "partials_bytes",
+                )
+            cluster.network.shuffle(cluster.machines, forward_bytes)
+            partials = next_partials
+
+        results: list[tuple[int, ...]] = []
+        count = 0
+        inverse = [0] * n
+        for q, u in enumerate(order):
+            inverse[u] = q
+        for t in range(num_machines):
+            count += len(partials[t])
+            if collect:
+                for partial in partials[t]:
+                    results.append(tuple(partial[inverse[u]] for u in range(n)))
+        self._count = count
+        return results

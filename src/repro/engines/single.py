@@ -1,0 +1,56 @@
+"""Single-machine reference engine (ground truth for all distributed runs).
+
+Runs the generic backtracking enumerator over the whole data graph on
+machine 0 — the oracle every distributed engine must agree with.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.engines.base import EnumerationEngine
+from repro.enumeration.backtracking import (
+    BacktrackingEnumerator,
+    EnumerationStats,
+)
+from repro.query.pattern import Pattern
+
+
+class SingleMachineEngine(EnumerationEngine):
+    """TurboIso-style sequential enumeration of the full graph."""
+
+    name = "Single"
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        pattern: Pattern,
+        constraints: list[tuple[int, int]],
+        collect: bool,
+    ) -> list[tuple[int, ...]]:
+        graph = cluster.graph
+        stats = EnumerationStats()
+        enumerator = BacktrackingEnumerator(
+            pattern=pattern,
+            adjacency=graph.neighbors,
+            constraints=constraints,
+            stats=stats,
+        )
+        start = enumerator.order[0]
+        min_degree = pattern.degree(start)
+        candidates = [
+            v for v in graph.vertices() if graph.degree(v) >= min_degree
+        ]
+        embeddings = []
+        count = 0
+        for emb in enumerator.run(candidates):
+            count += 1
+            if collect:
+                embeddings.append(emb)
+        machine = cluster.machine(0)
+        machine.charge_ops(stats.total_ops, "enum_ops")
+        machine.allocate(
+            count * cluster.cost_model.embedding_bytes(pattern.num_vertices),
+            "result_bytes",
+        )
+        self._count = count
+        return embeddings

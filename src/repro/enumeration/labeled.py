@@ -1,0 +1,227 @@
+"""Labeled subgraph enumeration with TurboIso-style filtering.
+
+The unlabeled enumerators in this package treat every data vertex as a
+candidate for every query vertex.  With labels, TurboIso's candidate
+filters apply:
+
+- **label filter** — ``f(u)`` must carry ``u``'s label;
+- **degree filter** — ``deg(f(u)) >= deg(u)``;
+- **NLF filter** — for every label ``l``, ``f(u)`` must have at least as
+  many neighbours labeled ``l`` as ``u`` does (neighbourhood label
+  frequency).
+
+The matching order follows TurboIso's candidate-cardinality heuristic:
+start from the query vertex with the fewest surviving candidates, then
+grow connectivity-first, preferring small candidate sets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.enumeration.backtracking import EnumerationStats
+from repro.graph.labeled import LabeledGraph
+from repro.query.pattern import Pattern
+
+
+class LabeledPattern:
+    """A query pattern whose vertices carry integer labels."""
+
+    def __init__(self, pattern: Pattern, labels: Iterable[int]):
+        label_tuple = tuple(int(x) for x in labels)
+        if len(label_tuple) != pattern.num_vertices:
+            raise ValueError(
+                f"expected {pattern.num_vertices} labels, "
+                f"got {len(label_tuple)}"
+            )
+        if any(x < 0 for x in label_tuple):
+            raise ValueError("labels must be non-negative integers")
+        self._pattern = pattern
+        self._labels = label_tuple
+
+    @property
+    def pattern(self) -> Pattern:
+        """The underlying unlabeled pattern."""
+        return self._pattern
+
+    @property
+    def labels(self) -> tuple[int, ...]:
+        """Label tuple indexed by query vertex id."""
+        return self._labels
+
+    def label(self, u: int) -> int:
+        """Label of query vertex ``u``."""
+        return self._labels[u]
+
+    def neighborhood_label_frequency(self, u: int) -> Counter[int]:
+        """NLF of query vertex ``u``."""
+        return Counter(self._labels[w] for w in self._pattern.adj(u))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LabeledPattern({self._pattern.name}, labels={self._labels})"
+
+
+def candidate_sets(
+    data: LabeledGraph,
+    query: LabeledPattern,
+    use_nlf: bool = True,
+    stats: EnumerationStats | None = None,
+) -> dict[int, np.ndarray]:
+    """Per-query-vertex candidate arrays after label/degree/NLF filtering."""
+    pattern = query.pattern
+    out: dict[int, np.ndarray] = {}
+    for u in pattern.vertices():
+        base = data.vertices_with_label(query.label(u))
+        min_degree = pattern.degree(u)
+        survivors = [
+            int(v) for v in base if data.degree(int(v)) >= min_degree
+        ]
+        if stats is not None:
+            stats.candidates_scanned += len(base)
+        if use_nlf and survivors:
+            needed = query.neighborhood_label_frequency(u)
+            survivors = [
+                v
+                for v in survivors
+                if _nlf_dominates(data.neighborhood_label_frequency(v), needed)
+            ]
+        out[u] = np.asarray(sorted(survivors), dtype=np.int64)
+    return out
+
+
+def _nlf_dominates(have: Counter[int], need: Counter[int]) -> bool:
+    return all(have.get(lbl, 0) >= cnt for lbl, cnt in need.items())
+
+
+def labeled_matching_order(
+    pattern: Pattern, candidates: dict[int, np.ndarray]
+) -> list[int]:
+    """Candidate-cardinality matching order (TurboIso heuristic)."""
+    start = min(
+        pattern.vertices(),
+        key=lambda u: (len(candidates[u]), -pattern.degree(u), u),
+    )
+    order = [start]
+    remaining = set(pattern.vertices()) - {start}
+    while remaining:
+        placed = set(order)
+        connected = [u for u in remaining if pattern.adj(u) & placed]
+        if not connected:
+            raise ValueError("pattern is disconnected")
+        nxt = min(
+            connected,
+            key=lambda u: (len(candidates[u]), -pattern.degree(u), u),
+        )
+        order.append(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+@dataclass
+class LabeledEnumerator:
+    """Backtracking matcher over a labeled graph and labeled pattern."""
+
+    data: LabeledGraph
+    query: LabeledPattern
+    use_nlf: bool = True
+    stats: EnumerationStats = field(default_factory=EnumerationStats)
+
+    def __post_init__(self) -> None:
+        self._candidates = candidate_sets(
+            self.data, self.query, self.use_nlf, self.stats
+        )
+        self._order = labeled_matching_order(
+            self.query.pattern, self._candidates
+        )
+        pattern = self.query.pattern
+        position = {u: i for i, u in enumerate(self._order)}
+        self._backward = [
+            [w for w in pattern.adj(u) if position[w] < i]
+            for i, u in enumerate(self._order)
+        ]
+        self._candidate_sets = {
+            u: frozenset(int(v) for v in arr)
+            for u, arr in self._candidates.items()
+        }
+
+    # ------------------------------------------------------------------
+    def candidates(self, u: int) -> np.ndarray:
+        """Filtered candidate array of query vertex ``u``."""
+        return self._candidates[u]
+
+    def run(self, limit: int | None = None) -> Iterator[tuple[int, ...]]:
+        """Yield labeled embeddings as canonical tuples ``emb[u] = v``."""
+        pattern = self.query.pattern
+        n = pattern.num_vertices
+        order = self._order
+        mapping: dict[int, int] = {}
+        used: set[int] = set()
+        emitted = 0
+
+        def extend(position: int) -> Iterator[tuple[int, ...]]:
+            nonlocal emitted
+            self.stats.recursive_calls += 1
+            u = order[position]
+            allowed = self._candidate_sets[u]
+            backward = self._backward[position]
+            arrays = sorted(
+                (self.data.neighbors(mapping[w]) for w in backward), key=len
+            )
+            cands = arrays[0]
+            for arr in arrays[1:]:
+                self.stats.intersections += min(len(cands), len(arr))
+                cands = np.intersect1d(cands, arr, assume_unique=True)
+            self.stats.candidates_scanned += len(cands)
+            for v in cands:
+                v = int(v)
+                if v in used or v not in allowed:
+                    continue
+                mapping[u] = v
+                used.add(v)
+                if position + 1 == n:
+                    self.stats.embeddings += 1
+                    emitted += 1
+                    yield tuple(mapping[w] for w in range(n))
+                else:
+                    yield from extend(position + 1)
+                used.discard(v)
+                del mapping[u]
+                if limit is not None and emitted >= limit:
+                    return
+
+        start = order[0]
+        for v0 in self._candidates[start]:
+            v0 = int(v0)
+            mapping[start] = v0
+            used.add(v0)
+            if n == 1:
+                self.stats.embeddings += 1
+                emitted += 1
+                yield (v0,)
+            else:
+                yield from extend(1)
+            used.discard(v0)
+            del mapping[start]
+            if limit is not None and emitted >= limit:
+                return
+
+
+def labeled_embeddings(
+    data: LabeledGraph,
+    query: LabeledPattern,
+    use_nlf: bool = True,
+    limit: int | None = None,
+    stats: EnumerationStats | None = None,
+) -> list[tuple[int, ...]]:
+    """Convenience wrapper returning all labeled embeddings."""
+    enumerator = LabeledEnumerator(
+        data=data,
+        query=query,
+        use_nlf=use_nlf,
+        stats=stats or EnumerationStats(),
+    )
+    return list(enumerator.run(limit=limit))

@@ -1,0 +1,82 @@
+"""Clique enumeration (Bron-Kerbosch with pivoting).
+
+The Crystal baseline (Qiao et al., reimplemented in
+:mod:`repro.engines.crystal`) pre-builds an index of all cliques of the data
+graph; SEED uses local clique listing for its clique decomposition units.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.algorithms import degeneracy_order
+
+
+def maximal_cliques(graph: Graph, max_count: int | None = None) -> list[tuple[int, ...]]:
+    """All maximal cliques via Bron-Kerbosch with degeneracy ordering.
+
+    Parameters
+    ----------
+    max_count:
+        Optional safety cap; enumeration stops once reached.
+    """
+    adjacency = [set(int(w) for w in graph.neighbors(v)) for v in graph.vertices()]
+    result: list[tuple[int, ...]] = []
+
+    def expand(r: list[int], p: set[int], x: set[int]) -> bool:
+        if max_count is not None and len(result) >= max_count:
+            return False
+        if not p and not x:
+            result.append(tuple(sorted(r)))
+            return True
+        pivot = max(p | x, key=lambda v: len(adjacency[v] & p))
+        for v in sorted(p - adjacency[pivot]):
+            if not expand(r + [v], p & adjacency[v], x & adjacency[v]):
+                return False
+            p = p - {v}
+            x = x | {v}
+        return True
+
+    order = degeneracy_order(graph)
+    position = {v: i for i, v in enumerate(order)}
+    for v in order:
+        later = {w for w in adjacency[v] if position[w] > position[v]}
+        earlier = {w for w in adjacency[v] if position[w] < position[v]}
+        if not expand([v], later, earlier):
+            break
+    return result
+
+
+def enumerate_cliques(
+    graph: Graph, min_size: int = 3, max_size: int = 5,
+    max_count: int | None = None,
+) -> list[tuple[int, ...]]:
+    """All cliques (not only maximal) with ``min_size <= size <= max_size``.
+
+    Derived from the maximal cliques by sub-selection, with global
+    deduplication.  This is exactly what the Crystal index stores.
+    """
+    seen: set[tuple[int, ...]] = set()
+    for clique in maximal_cliques(graph):
+        k = len(clique)
+        for size in range(min_size, min(max_size, k) + 1):
+            for sub in combinations(clique, size):
+                seen.add(sub)
+                if max_count is not None and len(seen) >= max_count:
+                    return sorted(seen)
+    return sorted(seen)
+
+
+def local_triangles(graph: Graph, v: int) -> list[tuple[int, int]]:
+    """Pairs ``(a, b)`` with ``a < b`` forming a triangle with ``v``."""
+    nbrs = graph.neighbors(v)
+    result: list[tuple[int, int]] = []
+    for i, a in enumerate(nbrs):
+        a = int(a)
+        nbrs_a = graph.neighbors(a)
+        common = np.intersect1d(nbrs[i + 1:], nbrs_a, assume_unique=True)
+        result.extend((a, int(b)) for b in common)
+    return result

@@ -1,0 +1,172 @@
+"""Seeded synthetic graph generators.
+
+These stand in for the paper's real datasets (DBLP, RoadNet, LiveJournal,
+UK2002), which are not available offline.  Each generator reproduces the
+structural property the paper leans on:
+
+- :func:`grid_road_network` — near-planar, tiny average degree, enormous
+  diameter (RoadNet): most vertices end up far from partition borders, so
+  RADS' SM-E phase dominates.
+- :func:`community_graph` — overlapping small communities (DBLP): moderate
+  density, many small cliques.
+- :func:`preferential_attachment` / :func:`powerlaw_cluster` — heavy-tailed
+  degree distributions (LiveJournal / UK2002): join-based engines blow up on
+  star intermediate results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+
+def erdos_renyi(num_vertices: int, edge_prob: float, seed: int = 0) -> Graph:
+    """G(n, p) random graph (used mostly by tests)."""
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices)
+    # Vectorised upper-triangle sampling keeps test graphs cheap.
+    for u in range(num_vertices - 1):
+        hits = np.where(rng.random(num_vertices - u - 1) < edge_prob)[0]
+        for offset in hits:
+            builder.add_edge(u, u + 1 + int(offset))
+    return builder.build()
+
+
+def grid_road_network(
+    width: int, height: int, extra_edge_prob: float = 0.05, seed: int = 0
+) -> Graph:
+    """Road-network analogue: a W x H grid with sparse diagonal shortcuts.
+
+    Average degree is slightly above 2 (paper's RoadNet: 1.05 per direction);
+    the diameter grows with ``width + height``.
+    """
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(width * height)
+
+    def vid(x: int, y: int) -> int:
+        return y * width + x
+
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                builder.add_edge(vid(x, y), vid(x + 1, y))
+            if y + 1 < height:
+                builder.add_edge(vid(x, y), vid(x, y + 1))
+            if (
+                x + 1 < width
+                and y + 1 < height
+                and rng.random() < extra_edge_prob
+            ):
+                builder.add_edge(vid(x, y), vid(x + 1, y + 1))
+    return builder.build()
+
+
+def preferential_attachment(
+    num_vertices: int, edges_per_vertex: int, seed: int = 0
+) -> Graph:
+    """Barabasi-Albert preferential attachment (heavy-tailed degrees)."""
+    if num_vertices <= edges_per_vertex:
+        raise ValueError("need num_vertices > edges_per_vertex")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices)
+    # Seed clique keeps early attachment well-defined.
+    targets = list(range(edges_per_vertex + 1))
+    for u in targets:
+        for v in targets:
+            if u < v:
+                builder.add_edge(u, v)
+    repeated: list[int] = []
+    for v in targets:
+        repeated.extend([v] * edges_per_vertex)
+    for v in range(edges_per_vertex + 1, num_vertices):
+        chosen: set[int] = set()
+        while len(chosen) < edges_per_vertex:
+            chosen.add(repeated[int(rng.integers(len(repeated)))])
+        for w in chosen:
+            builder.add_edge(v, w)
+            repeated.append(w)
+        repeated.extend([v] * edges_per_vertex)
+    return builder.build()
+
+
+def powerlaw_cluster(
+    num_vertices: int,
+    edges_per_vertex: int,
+    triangle_prob: float = 0.5,
+    seed: int = 0,
+) -> Graph:
+    """Holme-Kim power-law graph with tunable clustering.
+
+    Like preferential attachment, but each new edge is followed with
+    probability ``triangle_prob`` by a triangle-closing edge.  Produces the
+    triangle-rich heavy-tailed structure of social/web graphs.
+    """
+    if num_vertices <= edges_per_vertex:
+        raise ValueError("need num_vertices > edges_per_vertex")
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_vertices)
+    targets = list(range(edges_per_vertex + 1))
+    for u in targets:
+        for v in targets:
+            if u < v:
+                builder.add_edge(u, v)
+    repeated: list[int] = []
+    for v in targets:
+        repeated.extend([v] * edges_per_vertex)
+    adjacency: list[list[int]] = [list() for _ in range(num_vertices)]
+    for u in targets:
+        adjacency[u] = [v for v in targets if v != u]
+    for v in range(edges_per_vertex + 1, num_vertices):
+        added = 0
+        while added < edges_per_vertex:
+            w = repeated[int(rng.integers(len(repeated)))]
+            if w == v or not builder.add_edge(v, w):
+                continue
+            adjacency[v].append(w)
+            adjacency[w].append(v)
+            repeated.append(w)
+            added += 1
+            # Triangle-closing step.
+            if (
+                added < edges_per_vertex
+                and adjacency[w]
+                and rng.random() < triangle_prob
+            ):
+                t = adjacency[w][int(rng.integers(len(adjacency[w])))]
+                if t != v and builder.add_edge(v, t):
+                    adjacency[v].append(t)
+                    adjacency[t].append(v)
+                    repeated.append(t)
+                    added += 1
+        repeated.extend([v] * edges_per_vertex)
+    return builder.build()
+
+
+def community_graph(
+    num_communities: int,
+    community_size: int,
+    intra_prob: float = 0.6,
+    inter_edges: int = 2,
+    seed: int = 0,
+) -> Graph:
+    """Co-authorship analogue: dense communities plus sparse bridges (DBLP)."""
+    rng = np.random.default_rng(seed)
+    num_vertices = num_communities * community_size
+    builder = GraphBuilder(num_vertices)
+    for c in range(num_communities):
+        base = c * community_size
+        for i in range(community_size):
+            for j in range(i + 1, community_size):
+                if rng.random() < intra_prob:
+                    builder.add_edge(base + i, base + j)
+    for c in range(num_communities):
+        for _ in range(inter_edges):
+            other = int(rng.integers(num_communities))
+            if other == c:
+                continue
+            u = c * community_size + int(rng.integers(community_size))
+            v = other * community_size + int(rng.integers(community_size))
+            builder.add_edge(u, v)
+    return builder.build()

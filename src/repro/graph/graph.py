@@ -1,0 +1,189 @@
+"""Immutable undirected graph stored in CSR (compressed sparse row) form.
+
+Vertex ids are dense integers ``0..n-1``.  Neighbour lists are sorted
+``numpy.int64`` arrays, which makes neighbourhood intersection (the hot
+operation of every subgraph-enumeration engine in this repository) a sorted
+merge instead of a hash probe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class Graph:
+    """An immutable, unlabeled, undirected graph.
+
+    Parameters
+    ----------
+    indptr:
+        CSR row-pointer array of length ``n + 1``.
+    indices:
+        CSR column-index array; ``indices[indptr[v]:indptr[v+1]]`` is the
+        sorted neighbour list of ``v``.
+
+    Use :meth:`from_edges` or :class:`repro.graph.builder.GraphBuilder`
+    instead of calling the constructor directly.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_num_edges")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self._indptr = np.asarray(indptr, dtype=np.int64)
+        self._indices = np.asarray(indices, dtype=np.int64)
+        self._num_edges = int(len(self._indices) // 2)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[tuple[int, int]]
+    ) -> "Graph":
+        """Build a graph from an iterable of undirected edges.
+
+        Self loops are rejected; duplicate edges are collapsed.
+        """
+        edge_list = list(edges)
+        if not edge_list:
+            return cls(np.zeros(num_vertices + 1, dtype=np.int64),
+                       np.empty(0, dtype=np.int64))
+        arr = np.asarray(edge_list, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be (u, v) pairs")
+        if (arr[:, 0] == arr[:, 1]).any():
+            raise ValueError("self loops are not allowed")
+        if arr.min() < 0 or arr.max() >= num_vertices:
+            raise ValueError("edge endpoint out of range")
+        # Symmetrise, deduplicate.
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        keys = lo * num_vertices + hi
+        _, unique_idx = np.unique(keys, return_index=True)
+        lo, hi = lo[unique_idx], hi[unique_idx]
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, dst)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Sequence[Iterable[int]]) -> "Graph":
+        """Build from a sequence of per-vertex neighbour iterables."""
+        edges = [
+            (u, v)
+            for u, neighbours in enumerate(adjacency)
+            for v in neighbours
+            if u < v
+        ]
+        # Edges listed only once above would drop (u, v) with u > v that
+        # lack the mirror entry, so collect both directions explicitly.
+        extra = [
+            (v, u)
+            for u, neighbours in enumerate(adjacency)
+            for v in neighbours
+            if u > v
+        ]
+        return cls.from_edges(len(adjacency), edges + extra)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer (read-only view)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices (read-only view)."""
+        return self._indices
+
+    def vertices(self) -> range:
+        """Iterate vertex ids ``0..n-1``."""
+        return range(self.num_vertices)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour array of ``v`` (zero-copy view)."""
+        return self._indices[self._indptr[v]:self._indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Degree array for all vertices."""
+        return np.diff(self._indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the undirected edge ``(u, v)`` exists."""
+        nbrs = self.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < len(nbrs) and int(nbrs[i]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in self.vertices():
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def average_degree(self) -> float:
+        """Mean vertex degree."""
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    def storage_bytes(self) -> int:
+        """Bytes needed to store the adjacency structure (CSR arrays)."""
+        return int(self._indptr.nbytes + self._indices.nbytes)
+
+    def subgraph(self, vertex_set: Iterable[int]) -> tuple["Graph", dict[int, int]]:
+        """Induced subgraph on ``vertex_set``.
+
+        Returns the subgraph (with vertices relabelled ``0..k-1``) and the
+        old-id -> new-id mapping.
+        """
+        verts = sorted(set(int(v) for v in vertex_set))
+        remap = {v: i for i, v in enumerate(verts)}
+        member = np.zeros(self.num_vertices, dtype=bool)
+        member[verts] = True
+        edges = []
+        for v in verts:
+            for w in self.neighbors(v):
+                w = int(w)
+                if v < w and member[w]:
+                    edges.append((remap[v], remap[w]))
+        return Graph.from_edges(len(verts), edges), remap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vertices, self.num_edges))

@@ -1,0 +1,20 @@
+"""Graph partitioning and per-machine partition views (paper Sec. 2)."""
+
+from repro.partition.partitioner import (
+    HashPartitioner,
+    Partitioner,
+    edge_cut,
+    partition_balance,
+)
+from repro.partition.metis_like import MetisLikePartitioner
+from repro.partition.partition import GraphPartition, MachinePartition
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "MetisLikePartitioner",
+    "GraphPartition",
+    "MachinePartition",
+    "edge_cut",
+    "partition_balance",
+]

@@ -1,0 +1,71 @@
+"""Pattern-level graph isomorphism (for tiny query graphs).
+
+Used by tests and tooling to reason about the query set itself — e.g.
+asserting that the reconstructed q6 and q7 are genuinely different
+patterns, or deduplicating automatically generated patterns.
+"""
+
+from __future__ import annotations
+
+from repro.query.pattern import Pattern
+
+
+def _invariant(pattern: Pattern) -> tuple:
+    """Cheap isomorphism invariant: sorted degree + neighbour-degree data."""
+    per_vertex = sorted(
+        (
+            pattern.degree(u),
+            tuple(sorted(pattern.degree(w) for w in pattern.adj(u))),
+        )
+        for u in pattern.vertices()
+    )
+    return (pattern.num_vertices, pattern.num_edges, tuple(per_vertex))
+
+
+def find_isomorphism(
+    a: Pattern, b: Pattern
+) -> dict[int, int] | None:
+    """A vertex mapping witnessing a ~ b, or None.
+
+    Plain backtracking with degree pruning — patterns have <= ~10 vertices.
+    """
+    if _invariant(a) != _invariant(b):
+        return None
+    n = a.num_vertices
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    # Order a's vertices most-constrained-first for fast failure.
+    order = sorted(a.vertices(), key=lambda u: -a.degree(u))
+
+    def backtrack(i: int) -> bool:
+        if i == n:
+            return True
+        u = order[i]
+        mapped_neighbours = [w for w in a.adj(u) if w in mapping]
+        for v in b.vertices():
+            if v in used or b.degree(v) != a.degree(u):
+                continue
+            if any(not b.has_edge(v, mapping[w]) for w in mapped_neighbours):
+                continue
+            # Non-adjacency must be preserved too.
+            if any(
+                b.has_edge(v, mapping[w])
+                for w in mapping
+                if w not in a.adj(u)
+            ):
+                continue
+            mapping[u] = v
+            used.add(v)
+            if backtrack(i + 1):
+                return True
+            used.discard(v)
+            del mapping[u]
+        return False
+
+    return dict(mapping) if backtrack(0) else None
+
+
+def are_isomorphic(a: Pattern, b: Pattern) -> bool:
+    """True iff the two patterns are isomorphic."""
+    return find_isomorphism(a, b) is not None

@@ -1,0 +1,114 @@
+"""Maximum-leaf spanning trees and connected dominating sets (paper Sec. 4.1).
+
+The paper's Theorem 1: the minimum number of decomposition units of any
+execution plan equals the connected domination number ``c_P``, and a
+minimum-round plan can be read off a maximum-leaf spanning tree (MLST),
+using the identity ``|V_P| = c_P + l_P`` (Douglas, 1992).
+
+Patterns are tiny, so exhaustive enumeration is exact and cheap.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.query.pattern import Pattern
+
+
+def _is_connected_subset(pattern: Pattern, subset: frozenset[int]) -> bool:
+    if not subset:
+        return False
+    stack = [next(iter(subset))]
+    seen = {stack[0]}
+    while stack:
+        u = stack.pop()
+        for w in pattern.adj(u):
+            if w in subset and w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == len(subset)
+
+
+def _is_dominating(pattern: Pattern, subset: frozenset[int]) -> bool:
+    for v in pattern.vertices():
+        if v in subset:
+            continue
+        if not (pattern.adj(v) & subset):
+            return False
+    return True
+
+
+def connected_dominating_sets(
+    pattern: Pattern, size: int
+) -> list[frozenset[int]]:
+    """All connected dominating sets of exactly ``size`` vertices."""
+    result = []
+    for combo in combinations(pattern.vertices(), size):
+        subset = frozenset(combo)
+        if _is_dominating(pattern, subset) and _is_connected_subset(pattern, subset):
+            result.append(subset)
+    return result
+
+
+def minimum_connected_dominating_set(pattern: Pattern) -> frozenset[int]:
+    """A minimum CDS (exhaustive search; ties broken lexicographically)."""
+    for size in range(1, pattern.num_vertices + 1):
+        sets = connected_dominating_sets(pattern, size)
+        if sets:
+            return min(sets, key=sorted)
+    raise ValueError("pattern is not connected")
+
+
+def connected_domination_number(pattern: Pattern) -> int:
+    """``c_P``: size of a minimum connected dominating set."""
+    return len(minimum_connected_dominating_set(pattern))
+
+
+def spanning_trees(pattern: Pattern) -> list[tuple[tuple[int, int], ...]]:
+    """All spanning trees, each as a sorted tuple of edges."""
+    n = pattern.num_vertices
+    edges = list(pattern.edges())
+    result: list[tuple[tuple[int, int], ...]] = []
+    for combo in combinations(edges, n - 1):
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        acyclic = True
+        for u, v in combo:
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                acyclic = False
+                break
+            parent[ru] = rv
+        if acyclic:
+            result.append(tuple(sorted(combo)))
+    return result
+
+
+def tree_leaf_count(n: int, tree_edges: tuple[tuple[int, int], ...]) -> int:
+    """Number of degree-1 vertices of a spanning tree."""
+    degree = [0] * n
+    for u, v in tree_edges:
+        degree[u] += 1
+        degree[v] += 1
+    return sum(1 for d in degree if d == 1)
+
+
+def maximum_leaf_spanning_tree(
+    pattern: Pattern,
+) -> tuple[tuple[tuple[int, int], ...], int]:
+    """An MLST and its leaf count ``l_P`` (exhaustive over spanning trees)."""
+    best_tree: tuple[tuple[int, int], ...] | None = None
+    best_leaves = -1
+    for tree in spanning_trees(pattern):
+        leaves = tree_leaf_count(pattern.num_vertices, tree)
+        if leaves > best_leaves:
+            best_tree, best_leaves = tree, leaves
+    if best_tree is None:
+        raise ValueError("pattern has no spanning tree (disconnected?)")
+    return best_tree, best_leaves

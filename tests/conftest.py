@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.graph import (
+    community_graph,
+    erdos_renyi,
+    grid_road_network,
+    powerlaw_cluster,
+)
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    """Small Erdos-Renyi graph used across correctness tests."""
+    return erdos_renyi(100, 0.08, seed=5)
+
+
+@pytest.fixture(scope="session")
+def grid_graph():
+    """Small road-network analogue."""
+    return grid_road_network(12, 12, extra_edge_prob=0.1, seed=1)
+
+
+@pytest.fixture(scope="session")
+def powerlaw_graph():
+    """Small heavy-tailed graph."""
+    return powerlaw_cluster(150, 4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def community_graph_small():
+    """Small community (DBLP-like) graph."""
+    return community_graph(12, 10, intra_prob=0.5, inter_edges=2, seed=3)
+
+
+@pytest.fixture()
+def er_cluster(er_graph):
+    """Fresh 4-machine cluster over the ER graph."""
+    return Cluster.create(er_graph, 4)
+
+
+@pytest.fixture()
+def grid_cluster(grid_graph):
+    """Fresh 4-machine cluster over the grid graph."""
+    return Cluster.create(grid_graph, 4)

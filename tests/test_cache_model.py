@@ -1,0 +1,99 @@
+"""Model-based test: ForeignVertexCache against a reference model.
+
+A hypothesis state machine drives the cache with arbitrary put/get/clear
+sequences and checks every observable (membership, byte accounting,
+hit/miss counters, eviction order) against a straightforward Python model
+for both eviction policies.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.cache import ForeignVertexCache
+
+BUDGET = 160  # small enough that eviction happens constantly
+
+
+def entry_cost(degree: int) -> int:
+    return (degree + 1) * 8
+
+
+class CacheModel(RuleBasedStateMachine):
+    @initialize(policy=st.sampled_from(["fifo", "lru"]))
+    def setup(self, policy):
+        self.policy = policy
+        self.cache = ForeignVertexCache(budget_bytes=BUDGET, policy=policy)
+        self.model: dict[int, int] = {}  # vertex -> degree, in order
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @rule(v=st.integers(0, 14), degree=st.integers(0, 8))
+    def put(self, v, degree):
+        adjacency = np.arange(degree, dtype=np.int64)
+        self.cache.put(v, adjacency)
+        if v in self.model:
+            return  # duplicate put is a no-op
+        cost = entry_cost(degree)
+        used = sum(entry_cost(d) for d in self.model.values())
+        while self.model and used + cost > BUDGET:
+            oldest = next(iter(self.model))
+            used -= entry_cost(self.model.pop(oldest))
+        self.model[v] = degree
+
+    @rule(v=st.integers(0, 14))
+    def get(self, v):
+        got = self.cache.get(v)
+        if v in self.model:
+            self.hits += 1
+            assert got is not None
+            assert len(got) == self.model[v]
+            if self.policy == "lru":
+                self.model[v] = self.model.pop(v)  # move to end
+        else:
+            self.misses += 1
+            assert got is None
+
+    @rule()
+    def clear(self):
+        released = self.cache.clear()
+        assert released == sum(entry_cost(d) for d in self.model.values())
+        self.model.clear()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def same_membership(self):
+        if not hasattr(self, "model"):
+            return
+        for v in range(15):
+            assert (v in self.cache) == (v in self.model)
+        assert len(self.cache) == len(self.model)
+
+    @invariant()
+    def byte_accounting_matches(self):
+        if not hasattr(self, "model"):
+            return
+        assert self.cache.bytes_used == sum(
+            entry_cost(d) for d in self.model.values()
+        )
+        assert self.cache.bytes_used <= BUDGET or len(self.model) == 1
+
+    @invariant()
+    def counters_match(self):
+        if not hasattr(self, "model"):
+            return
+        assert self.cache.hits == self.hits
+        assert self.cache.misses == self.misses
+
+
+TestCacheModel = CacheModel.TestCase
+TestCacheModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_graph, main, save_graph
+from repro.graph import erdos_renyi
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    graph = erdos_renyi(60, 0.12, seed=17)
+    path = tmp_path / "g.npz"
+    save_graph(graph, str(path))
+    return str(path), graph
+
+
+class TestIO:
+    @pytest.mark.parametrize("ext", ["npz", "edges", "adj"])
+    def test_roundtrip_each_format(self, tmp_path, ext):
+        graph = erdos_renyi(40, 0.15, seed=18)
+        path = str(tmp_path / f"g.{ext}")
+        save_graph(graph, path)
+        assert load_graph(path) == graph
+
+    def test_unknown_format(self, tmp_path):
+        with pytest.raises(SystemExit):
+            load_graph(str(tmp_path / "g.xyz"))
+
+
+class TestCommands:
+    def test_generate(self, tmp_path, capsys):
+        out = str(tmp_path / "road.npz")
+        assert main([
+            "generate", "--dataset", "roadnet", "--scale", "0.1",
+            "--out", out,
+        ]) == 0
+        assert "roadnet" in capsys.readouterr().out
+        assert load_graph(out).num_vertices > 0
+
+    def test_enumerate(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main([
+            "enumerate", "--graph", path, "--query", "q2",
+            "--engine", "RADS", "--machines", "3", "--show", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RADS" in out and "emb=" in out
+
+    def test_enumerate_all_engines_agree(self, graph_file, capsys):
+        path, _ = graph_file
+        counts = set()
+        for engine in ("RADS", "PSgL", "Single"):
+            main([
+                "enumerate", "--graph", path, "--query", "triangle",
+                "--engine", engine, "--machines", "2",
+            ])
+            out = capsys.readouterr().out
+            counts.add(out.split("emb=")[1].split()[0])
+        assert len(counts) == 1
+
+    def test_enumerate_oom_exit_code(self, tmp_path, capsys):
+        dense = erdos_renyi(120, 0.25, seed=19)
+        path = str(tmp_path / "dense.npz")
+        save_graph(dense, path)
+        code = main([
+            "enumerate", "--graph", path, "--query", "q5",
+            "--engine", "TwinTwig", "--machines", "3", "--memory-mb", "1",
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_bad_query(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit):
+            main(["enumerate", "--graph", path, "--query", "nope"])
+
+    def test_bad_engine(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit):
+            main([
+                "enumerate", "--graph", path, "--query", "q1",
+                "--engine", "nope",
+            ])
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--query", "q5"]) == 0
+        out = capsys.readouterr().out
+        assert "matching order" in out
+        assert "round 0" in out
+
+    def test_plan_with_graph(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["plan", "--query", "q4", "--graph", path]) == 0
+        assert "expansion" in capsys.readouterr().out
+
+    def test_profile(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["profile", "--graph", path]) == 0
+        out = capsys.readouterr().out
+        assert f"vertices: {graph.num_vertices}" in out
+        assert "triangles:" in out
+
+    def test_enumerate_extension_engines(self, graph_file, capsys):
+        path, _ = graph_file
+        counts = set()
+        for engine in ("Multiway", "Replication", "BigJoin", "Single"):
+            assert main([
+                "enumerate", "--graph", path, "--query", "q2",
+                "--engine", engine, "--machines", "3",
+            ]) == 0
+            out = capsys.readouterr().out
+            counts.add(out.split("emb=")[1].split()[0])
+        assert len(counts) == 1
+
+    def test_enumerate_with_straggler(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main([
+            "enumerate", "--graph", path, "--query", "q2",
+            "--engine", "RADS", "--machines", "3", "--straggler", "4",
+        ]) == 0
+        assert "emb=" in capsys.readouterr().out
+
+    def test_labeled_command(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main([
+            "labeled", "--graph", path, "--query", "triangle",
+            "--query-labels", "0,1,2", "--num-labels", "3",
+            "--show", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "labeled embeddings" in out
+
+    def test_labeled_rejects_bad_label_count(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit):
+            main([
+                "labeled", "--graph", path, "--query", "triangle",
+                "--query-labels", "0,1",
+            ])
+
+    def test_labeled_rejects_out_of_range_labels(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit):
+            main([
+                "labeled", "--graph", path, "--query", "triangle",
+                "--query-labels", "0,1,9", "--num-labels", "3",
+            ])
+
+    def test_labeled_rejects_garbage_labels(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit):
+            main([
+                "labeled", "--graph", path, "--query", "triangle",
+                "--query-labels", "a,b,c",
+            ])

@@ -1,0 +1,107 @@
+"""Property tests for the cost model and network accounting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import CostModel, Machine, Network
+
+
+class TestCostModelProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(nbytes=st.floats(0, 1e9))
+    def test_message_time_monotone(self, nbytes):
+        model = CostModel()
+        assert model.message_time(nbytes) <= model.message_time(nbytes + 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.floats(0, 1e12))
+    def test_compute_time_linear(self, ops):
+        model = CostModel()
+        assert model.compute_time(2 * ops) == pytest.approx(
+            2 * model.compute_time(ops)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(k=st.integers(0, 64))
+    def test_embedding_bytes_proportional(self, k):
+        model = CostModel()
+        assert model.embedding_bytes(k) == k * model.bytes_per_vertex_id
+
+
+class TestNetworkInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        transfers=st.lists(
+            st.tuples(
+                st.integers(0, 3), st.integers(0, 3), st.integers(1, 10**6)
+            ),
+            max_size=30,
+        )
+    )
+    def test_total_equals_sum_of_records(self, transfers):
+        model = CostModel()
+        net = Network(4, model)
+        expected = 0
+        for src, dst, nbytes in transfers:
+            net.record(src, dst, nbytes)
+            expected += nbytes
+        assert net.total_bytes == expected
+        assert net.messages == len(transfers)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        payload=st.lists(
+            st.lists(st.integers(0, 10**5), min_size=3, max_size=3),
+            min_size=3, max_size=3,
+        )
+    )
+    def test_shuffle_barrier_equalises_clocks(self, payload):
+        model = CostModel()
+        net = Network(3, model)
+        machines = [Machine(i, model) for i in range(3)]
+        machines[1].advance(0.5)
+        net.shuffle(machines, np.asarray(payload, dtype=np.int64))
+        clocks = {round(m.clock, 15) for m in machines}
+        assert len(clocks) == 1
+        assert machines[0].clock >= 0.5
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        request=st.integers(0, 10**6),
+        response=st.integers(0, 10**6),
+        service=st.floats(0, 10**6),
+    )
+    def test_rpc_conservation(self, request, response, service):
+        """Requester waits at least the two message times; responder's
+        main clock never moves; all bytes are accounted."""
+        model = CostModel()
+        net = Network(2, model)
+        a, b = Machine(0, model), Machine(1, model)
+        net.rpc(a, b, request, response, service)
+        assert a.clock >= model.message_time(request)
+        assert b.clock == 0.0
+        assert net.total_bytes == request + response
+
+
+class TestMachineInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 10**6)), max_size=40
+        )
+    )
+    def test_peak_is_running_max(self, steps):
+        machine = Machine(0, CostModel())
+        used = 0
+        peak = 0
+        for is_alloc, nbytes in steps:
+            if is_alloc:
+                machine.allocate(nbytes)
+                used += nbytes
+            else:
+                machine.free(min(nbytes, used))
+                used -= min(nbytes, used)
+            peak = max(peak, used)
+        assert machine.memory_used == used
+        assert machine.peak_memory == peak

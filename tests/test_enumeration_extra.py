@@ -1,0 +1,69 @@
+"""Additional enumeration edge cases and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.enumeration import BacktrackingEnumerator, enumerate_embeddings
+from repro.graph import Graph, erdos_renyi
+from repro.query import Pattern
+from repro.query.patterns import clique, path, star, triangle
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = Graph.from_edges(5, [])
+        assert enumerate_embeddings(g.neighbors, g.vertices(), triangle()) == []
+
+    def test_graph_smaller_than_pattern(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert enumerate_embeddings(g.neighbors, g.vertices(), clique(4)) == []
+
+    def test_pattern_equals_graph(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        embs = enumerate_embeddings(g.neighbors, g.vertices(), triangle())
+        assert len(embs) == 6  # 3! automorphic images without breaking
+
+    def test_single_edge_pattern(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        embs = enumerate_embeddings(g.neighbors, g.vertices(), path(2))
+        assert len(embs) == 4  # each edge in both directions
+
+    def test_isolated_vertices_never_matched(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (0, 2)])
+        for emb in enumerate_embeddings(g.neighbors, g.vertices(), triangle()):
+            assert set(emb) <= {0, 1, 2}
+
+    def test_star_center_degree_filter(self):
+        # star4's centre requires degree >= 4.
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        embs = enumerate_embeddings(g.neighbors, g.vertices(), star(4))
+        assert all(emb[0] == 0 for emb in embs)
+        assert len(embs) == 24  # 4! leaf orderings
+
+    def test_duplicate_start_candidates(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        once = enumerate_embeddings(g.neighbors, [5], triangle())
+        twice = enumerate_embeddings(g.neighbors, [5, 5], triangle())
+        assert len(twice) == 2 * len(once)  # caller owns start multiplicity
+
+
+class TestAdversarialPatterns:
+    def test_disconnected_pattern_rejected(self):
+        bad = Pattern(4, [(0, 1), (2, 3)])
+        g = erdos_renyi(10, 0.5, seed=2)
+        with pytest.raises(ValueError):
+            enumerate_embeddings(g.neighbors, g.vertices(), bad)
+
+    def test_adjacency_returning_copies_is_fine(self):
+        g = erdos_renyi(25, 0.2, seed=3)
+        copying = lambda v: np.array(g.neighbors(v))
+        a = enumerate_embeddings(copying, g.vertices(), triangle())
+        b = enumerate_embeddings(g.neighbors, g.vertices(), triangle())
+        assert set(a) == set(b)
+
+    def test_limit_zero(self):
+        g = erdos_renyi(20, 0.3, seed=4)
+        enumerator = BacktrackingEnumerator(
+            pattern=triangle(), adjacency=g.neighbors
+        )
+        assert list(enumerator.run(g.vertices(), limit=0)) in ([], )

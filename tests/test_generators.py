@@ -1,0 +1,85 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    community_graph,
+    connected_components,
+    diameter_lower_bound,
+    erdos_renyi,
+    grid_road_network,
+    powerlaw_cluster,
+    preferential_attachment,
+    triangle_count,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", [
+        lambda s: erdos_renyi(60, 0.1, seed=s),
+        lambda s: grid_road_network(8, 8, 0.1, seed=s),
+        lambda s: preferential_attachment(100, 3, seed=s),
+        lambda s: powerlaw_cluster(100, 3, seed=s),
+        lambda s: community_graph(6, 8, 0.5, 2, seed=s),
+    ])
+    def test_same_seed_same_graph(self, factory):
+        assert factory(7) == factory(7)
+
+    def test_different_seed_differs(self):
+        assert erdos_renyi(60, 0.1, seed=1) != erdos_renyi(60, 0.1, seed=2)
+
+
+class TestGridRoadNetwork:
+    def test_size(self):
+        g = grid_road_network(10, 7)
+        assert g.num_vertices == 70
+
+    def test_low_degree(self):
+        g = grid_road_network(20, 20, extra_edge_prob=0.05, seed=0)
+        assert g.average_degree() < 4.5
+
+    def test_connected(self):
+        g = grid_road_network(10, 10, seed=0)
+        assert len(set(connected_components(g))) == 1
+
+    def test_large_diameter(self):
+        g = grid_road_network(20, 20, extra_edge_prob=0, seed=0)
+        assert diameter_lower_bound(g) >= 20
+
+
+class TestPreferentialAttachment:
+    def test_heavy_tail(self):
+        g = preferential_attachment(500, 3, seed=0)
+        degrees = g.degrees()
+        assert degrees.max() > 5 * np.median(degrees)
+
+    def test_edge_count(self):
+        g = preferential_attachment(200, 4, seed=1)
+        # m edges per new vertex plus the seed clique.
+        assert g.num_edges >= 4 * (200 - 5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(3, 5)
+
+
+class TestPowerlawCluster:
+    def test_more_triangles_than_ba(self):
+        ba = preferential_attachment(300, 4, seed=2)
+        hk = powerlaw_cluster(300, 4, triangle_prob=0.8, seed=2)
+        assert triangle_count(hk) > triangle_count(ba)
+
+    def test_connected(self):
+        g = powerlaw_cluster(200, 3, seed=3)
+        assert len(set(connected_components(g))) == 1
+
+
+class TestCommunityGraph:
+    def test_size(self):
+        g = community_graph(5, 10, seed=0)
+        assert g.num_vertices == 50
+
+    def test_clique_rich(self):
+        g = community_graph(8, 10, intra_prob=0.7, seed=1)
+        assert triangle_count(g) > 100

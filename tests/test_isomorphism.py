@@ -1,0 +1,56 @@
+"""Tests for pattern isomorphism checking."""
+
+import pytest
+
+from repro.query import Pattern
+from repro.query.isomorphism import are_isomorphic, find_isomorphism
+from repro.query.patterns import (
+    PAPER_QUERIES,
+    domino,
+    k33,
+    square,
+    theta_graph,
+    triangle,
+)
+
+
+class TestIsomorphism:
+    def test_identity(self):
+        for p in PAPER_QUERIES.values():
+            assert are_isomorphic(p, p)
+
+    def test_relabelled_square(self):
+        relabelled = Pattern(4, [(2, 3), (3, 0), (0, 1), (1, 2)])
+        assert are_isomorphic(square(), relabelled)
+
+    def test_mapping_is_valid(self):
+        shifted = square().relabel({0: 1, 1: 2, 2: 3, 3: 0})
+        mapping = find_isomorphism(square(), shifted)
+        assert mapping is not None
+        for u, v in square().edges():
+            assert shifted.has_edge(mapping[u], mapping[v])
+
+    def test_q6_not_isomorphic_to_q7(self):
+        """The regression that motivated the theta-graph q6: both are
+        6-vertex 7-edge triangle-free graphs with equal degree sequences."""
+        assert not are_isomorphic(theta_graph(), domino())
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(triangle(), square())
+
+    def test_same_counts_different_structure(self):
+        path_like = Pattern(4, [(0, 1), (1, 2), (2, 3)])
+        star_like = Pattern(4, [(0, 1), (0, 2), (0, 3)])
+        assert not are_isomorphic(path_like, star_like)
+
+    def test_k33_self(self):
+        flipped = k33().relabel({0: 3, 1: 4, 2: 5, 3: 0, 4: 1, 5: 2})
+        assert are_isomorphic(k33(), flipped)
+
+    def test_all_paper_queries_pairwise_distinct(self):
+        names = sorted(PAPER_QUERIES)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert not are_isomorphic(
+                    PAPER_QUERIES[a], PAPER_QUERIES[b]
+                ), (a, b)

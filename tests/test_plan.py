@@ -1,0 +1,138 @@
+"""Tests for execution plans (paper Sec. 3.2 Defs. 6-7, Sec. 4, Def. 10)."""
+
+import pytest
+
+from repro.query import (
+    best_execution_plan,
+    enumerate_execution_plans,
+    plan_from_pivots,
+    random_minimum_round_plan,
+    random_star_plan,
+    score_plan,
+)
+from repro.query.patterns import PAPER_QUERIES, CLIQUE_QUERIES, running_example, triangle
+from repro.query.spanning import connected_domination_number
+
+
+ALL_QUERIES = {**PAPER_QUERIES, **CLIQUE_QUERIES}
+
+
+class TestPlanValidity:
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_best_plan_valid(self, name):
+        plan = best_execution_plan(ALL_QUERIES[name])
+        plan.validate()  # raises on violation
+
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_minimum_rounds_theorem1(self, name):
+        """Theorem 1: min #units == connected domination number c_P."""
+        pattern = ALL_QUERIES[name]
+        plan = best_execution_plan(pattern)
+        assert plan.num_rounds == connected_domination_number(pattern)
+
+    def test_all_enumerated_plans_valid(self):
+        for plan in enumerate_execution_plans(PAPER_QUERIES["q4"]):
+            plan.validate()
+
+    def test_units_cover_all_edges_exactly_once(self):
+        plan = best_execution_plan(PAPER_QUERIES["q5"])
+        seen = []
+        for unit in plan.units:
+            for e in (*unit.star_edges, *unit.sibling_edges, *unit.cross_edges):
+                seen.append((min(e), max(e)))
+        assert sorted(seen) == sorted(PAPER_QUERIES["q5"].edges())
+
+    def test_expansion_edges_form_spanning_tree(self):
+        """Sec. 3.2: star edges of all units form a spanning tree of P."""
+        pattern = PAPER_QUERIES["q7"]
+        plan = best_execution_plan(pattern)
+        star_edges = [e for u in plan.units for e in u.star_edges]
+        assert len(star_edges) == pattern.num_vertices - 1
+
+    def test_plan_from_pivots(self):
+        plan = plan_from_pivots(PAPER_QUERIES["q1"], [0, 1])
+        plan.validate()
+        assert plan.units[0].pivot == 0
+
+    def test_plan_from_bad_pivots_raises(self):
+        with pytest.raises(ValueError):
+            # 0 and 2 are opposite corners of the square: 2 not adjacent to
+            # 0, so it cannot be in P_0.
+            plan_from_pivots(PAPER_QUERIES["q1"], [0, 2])
+
+
+class TestHeuristics:
+    def test_second_heuristic_minimises_start_span(self):
+        for name, pattern in ALL_QUERIES.items():
+            plan = best_execution_plan(pattern)
+            spans = [
+                pattern.span(p.start_vertex)
+                for p in enumerate_execution_plans(pattern)
+            ]
+            assert pattern.span(plan.start_vertex) == min(spans), name
+
+    def test_score_prefers_early_verification(self):
+        """Paper Example 5: more verification edges earlier => higher score."""
+        pattern = running_example()
+        plans = enumerate_execution_plans(pattern)
+        best = best_execution_plan(pattern)
+        assert score_plan(best) == max(
+            score_plan(p) for p in plans
+            if pattern.span(p.start_vertex) == pattern.span(best.start_vertex)
+        )
+
+    def test_single_unit_for_stars_and_cliques(self):
+        assert best_execution_plan(triangle()).num_rounds == 1
+        assert best_execution_plan(CLIQUE_QUERIES["cq1"]).num_rounds == 1
+
+
+class TestMatchingOrder:
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_total_order(self, name):
+        plan = best_execution_plan(ALL_QUERIES[name])
+        order = plan.matching_order()
+        assert sorted(order) == list(ALL_QUERIES[name].vertices())
+
+    def test_def10_pivot_before_leaves(self):
+        plan = best_execution_plan(PAPER_QUERIES["q5"])
+        order = plan.matching_order()
+        pos = {u: i for i, u in enumerate(order)}
+        for unit in plan.units:
+            for leaf in unit.leaves:
+                assert pos[unit.pivot] < pos[leaf]
+
+    def test_def10_unit_blocks_in_sequence(self):
+        plan = best_execution_plan(PAPER_QUERIES["q8"])
+        order = plan.matching_order()
+        pos = {u: i for i, u in enumerate(order)}
+        for i in range(len(plan.units) - 1):
+            for a in plan.units[i].leaves:
+                for b in plan.units[i + 1].leaves:
+                    assert pos[a] < pos[b]
+
+    def test_subpattern_vertices_prefix(self):
+        plan = best_execution_plan(PAPER_QUERIES["q5"])
+        for i in range(plan.num_rounds):
+            prefix = plan.subpattern_vertices(i)
+            assert prefix == plan.matching_order()[: len(prefix)]
+
+
+class TestRandomPlans:
+    def test_rans_valid(self):
+        for seed in range(5):
+            plan = random_star_plan(PAPER_QUERIES["q6"], seed=seed)
+            plan.validate()
+
+    def test_ranm_valid_and_minimum(self):
+        pattern = PAPER_QUERIES["q7"]
+        for seed in range(5):
+            plan = random_minimum_round_plan(pattern, seed=seed)
+            plan.validate()
+            assert plan.num_rounds == connected_domination_number(pattern)
+
+    def test_rans_can_exceed_minimum_rounds(self):
+        pattern = running_example()
+        rounds = {
+            random_star_plan(pattern, seed=s).num_rounds for s in range(20)
+        }
+        assert max(rounds) >= connected_domination_number(pattern)

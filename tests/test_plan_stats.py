@@ -1,0 +1,114 @@
+"""Tests for plan analytics (cardinality estimates, plan-space stats)."""
+
+import pytest
+
+from repro.graph import erdos_renyi
+from repro.query import best_execution_plan, named_patterns, paper_query
+from repro.query.plan_stats import (
+    PlanReport,
+    estimate_plan,
+    plan_space_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(200, 0.05, seed=23)
+
+
+class TestEstimatePlan:
+    def test_report_structure(self, graph):
+        pattern = paper_query("q5")
+        plan = best_execution_plan(pattern)
+        report = estimate_plan(pattern, plan, graph)
+        assert isinstance(report, PlanReport)
+        assert len(report.rounds) == plan.num_rounds
+        assert report.start_span == pattern.span(plan.start_vertex)
+
+    def test_estimates_positive_and_finite(self, graph):
+        pattern = paper_query("q4")
+        plan = best_execution_plan(pattern)
+        report = estimate_plan(pattern, plan, graph)
+        for r in report.rounds:
+            assert r.estimated_results >= 0
+            assert r.expansion_factor > 0
+
+    def test_more_verification_edges_lower_estimate(self, graph):
+        """Verification edges multiply in a selectivity < 1 factor."""
+        pattern = paper_query("q8")  # many verification edges
+        plan = best_execution_plan(pattern)
+        report = estimate_plan(pattern, plan, graph)
+        sparse_pattern = paper_query("q3")
+        sparse_plan = best_execution_plan(sparse_pattern)
+        sparse_report = estimate_plan(sparse_pattern, sparse_plan, graph)
+        # q8 (9 edges) must be estimated rarer than q3 (5 edges).
+        assert (
+            report.estimated_final_results
+            < sparse_report.estimated_final_results
+        )
+
+    def test_describe_renders(self, graph):
+        pattern = paper_query("q2")
+        report = estimate_plan(pattern, best_execution_plan(pattern), graph)
+        text = report.describe()
+        assert "round 0" in text and "score" in text
+
+
+class TestPlanSpaceSummary:
+    def test_fields(self):
+        summary = plan_space_summary(paper_query("q4"))
+        assert summary["num_plans"] > 0
+        assert summary["rounds"] == 2
+        assert summary["score_min"] <= summary["score_max"]
+
+    def test_with_graph_estimates(self, graph):
+        summary = plan_space_summary(paper_query("q4"), graph)
+        assert summary["estimate_min"] <= summary["estimate_max"]
+
+    def test_single_unit_pattern(self):
+        summary = plan_space_summary(paper_query("q2"))
+        assert summary["rounds"] == 1
+
+
+class TestCostBasedPlan:
+    def test_returns_valid_minimum_round_plan(self, er_graph):
+        from repro.query.plan_stats import cost_based_plan
+        from repro.query.spanning import connected_domination_number
+
+        pattern = named_patterns()["q5"]
+        plan = cost_based_plan(pattern, er_graph)
+        plan.validate()
+        assert plan.num_rounds == connected_domination_number(pattern)
+
+    def test_rads_accepts_cost_based_provider(self, er_cluster):
+        from repro.core.rads import RADSEngine
+        from repro.engines import SingleMachineEngine
+        from repro.query.plan_stats import cost_based_plan
+
+        pattern = named_patterns()["q4"]
+        graph = er_cluster.graph
+        engine = RADSEngine(
+            plan_provider=lambda p: cost_based_plan(p, graph)
+        )
+        result = engine.run(er_cluster.fresh_copy(), pattern)
+        oracle = SingleMachineEngine().run(er_cluster.fresh_copy(), pattern)
+        assert set(result.embeddings) == set(oracle.embeddings)
+
+    def test_prefers_lower_cardinality(self):
+        from repro.graph import erdos_renyi
+        from repro.query.plan import enumerate_execution_plans
+        from repro.query.plan_stats import cost_based_plan, estimate_plan
+
+        graph = erdos_renyi(100, 0.06, seed=2)
+        pattern = named_patterns()["q7"]
+        chosen = cost_based_plan(pattern, graph)
+        chosen_total = sum(
+            r.estimated_results
+            for r in estimate_plan(pattern, chosen, graph).rounds
+        )
+        for plan in enumerate_execution_plans(pattern):
+            other = sum(
+                r.estimated_results
+                for r in estimate_plan(pattern, plan, graph).rounds
+            )
+            assert chosen_total <= other + 1e-9

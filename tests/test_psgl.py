@@ -1,0 +1,60 @@
+"""Unit tests for the PSgL baseline's characteristic behaviours."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.engines import PSgLEngine, RADSEngine, SingleMachineEngine
+from repro.graph import erdos_renyi
+from repro.query import paper_query
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(120, 0.08, seed=21)
+
+
+class TestPSgL:
+    def test_correct(self, graph):
+        cluster = Cluster.create(graph, 4)
+        pattern = paper_query("q3")
+        expected = SingleMachineEngine().run(
+            cluster.fresh_copy(), pattern
+        ).embeddings
+        result = PSgLEngine().run(cluster.fresh_copy(), pattern)
+        assert set(result.embeddings) == set(expected)
+
+    def test_shuffles_every_superstep(self, graph):
+        """PSgL's traffic grows with the number of query vertices because
+        every expansion step reshuffles partial matches."""
+        cluster = Cluster.create(graph, 4)
+        small = PSgLEngine().run(
+            cluster.fresh_copy(), paper_query("q1"), collect_embeddings=False
+        )
+        large = PSgLEngine().run(
+            cluster.fresh_copy(), paper_query("q5"), collect_embeddings=False
+        )
+        assert large.total_comm_bytes > small.total_comm_bytes
+
+    def test_communication_dwarfs_rads(self, graph):
+        cluster = Cluster.create(graph, 4)
+        pattern = paper_query("q4")
+        psgl = PSgLEngine().run(
+            cluster.fresh_copy(), pattern, collect_embeddings=False
+        )
+        rads = RADSEngine().run(
+            cluster.fresh_copy(), pattern, collect_embeddings=False
+        )
+        assert psgl.total_comm_bytes > 3 * rads.total_comm_bytes
+
+    def test_synchronous_barriers(self, graph):
+        """All machines end each superstep together: identical main clocks
+        (modulo final gather) — the synchronisation delay of Sec. 1."""
+        cluster = Cluster.create(graph, 4)
+        PSgLEngine().run(cluster, paper_query("q2"), collect_embeddings=False)
+        clocks = [round(m.clock, 12) for m in cluster.machines]
+        assert len(set(clocks)) == 1
+
+    def test_no_memory_control(self, graph):
+        cluster = Cluster.create(graph, 4, memory_capacity=16 * 1024)
+        result = PSgLEngine().run(cluster, paper_query("q5"))
+        assert result.failed

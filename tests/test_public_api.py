@@ -1,0 +1,40 @@
+"""The documented top-level API surface must stay importable and usable."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("name", sorted(repro._EXPORTS))
+    def test_every_export_resolves(self, name):
+        value = getattr(repro, name)
+        assert value is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        assert "RADSEngine" in listing
+        assert "Graph" in listing
+
+    def test_docstring_workflow(self):
+        """The workflow shown in the package docstring actually runs."""
+        from repro import Cluster, RADSEngine, paper_query
+        from repro.graph import erdos_renyi
+
+        graph = erdos_renyi(50, 0.1, seed=1)
+        cluster = Cluster.create(graph, num_machines=3)
+        result = RADSEngine().run(cluster, paper_query("q2"))
+        assert not result.failed
+        assert result.embedding_count >= 0
+
+    def test_lazy_export_cached(self):
+        first = repro.Pattern
+        assert repro.__dict__.get("Pattern") is first

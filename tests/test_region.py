@@ -1,0 +1,157 @@
+"""Tests for region grouping and memory estimation (paper Sec. 6, Alg. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding_trie import NODE_BYTES
+from repro.core.region import MemoryEstimator, RegionGrouper
+from repro.graph import erdos_renyi, grid_road_network
+
+
+@pytest.fixture()
+def graph():
+    return grid_road_network(12, 12, extra_edge_prob=0.1, seed=3)
+
+
+def make_grouper(graph, budget, seed=0, estimator=None):
+    estimator = estimator or MemoryEstimator(num_unit_leaves=2)
+    estimator.calibrate(trie_nodes=400, start_vertices=100)  # 4 nodes/vertex
+    return RegionGrouper(graph.neighbors, estimator, budget, seed=seed)
+
+
+class TestMemoryEstimator:
+    def test_calibrated_estimate(self):
+        est = MemoryEstimator(2)
+        est.calibrate(trie_nodes=1000, start_vertices=10)
+        assert est.estimate_bytes(degree=5) == 100 * NODE_BYTES
+
+    def test_fallback_uses_degree(self):
+        est = MemoryEstimator(2)
+        assert est.estimate_bytes(degree=10) == 100 * NODE_BYTES
+
+    def test_fallback_capped(self):
+        est = MemoryEstimator(6)
+        assert est.estimate_bytes(degree=1000) <= int(1e6) * NODE_BYTES
+
+    def test_zero_start_vertices_ignored(self):
+        est = MemoryEstimator(2)
+        est.calibrate(trie_nodes=0, start_vertices=0)
+        assert est.estimate_bytes(degree=3) == 9 * NODE_BYTES
+
+
+class TestRegionGrouper:
+    def test_groups_partition_candidates(self, graph):
+        candidates = list(range(0, graph.num_vertices, 2))
+        groups = make_grouper(graph, budget=50 * NODE_BYTES).groups(candidates)
+        flat = sorted(v for g in groups for v in g)
+        assert flat == sorted(candidates)
+
+    def test_budget_limits_group_size(self, graph):
+        candidates = list(range(60))
+        # 4 nodes/vertex calibrated -> 96 bytes/vertex; budget of ~10 vertices.
+        groups = make_grouper(graph, budget=40 * NODE_BYTES).groups(candidates)
+        assert all(len(g) <= 10 for g in groups)
+        assert len(groups) >= 6
+
+    def test_huge_budget_single_group(self, graph):
+        candidates = list(range(40))
+        groups = make_grouper(graph, budget=1e12).groups(candidates)
+        assert len(groups) == 1
+
+    def test_single_vertex_groups_allowed_over_budget(self, graph):
+        candidates = [0, 1]
+        groups = make_grouper(graph, budget=1).groups(candidates)
+        assert sorted(v for g in groups for v in g) == [0, 1]
+
+    def test_deterministic_given_seed(self, graph):
+        candidates = list(range(50))
+        a = make_grouper(graph, budget=30 * NODE_BYTES, seed=5).groups(candidates)
+        b = make_grouper(graph, budget=30 * NODE_BYTES, seed=5).groups(candidates)
+        assert a == b
+
+    def test_proximity_definition(self, graph):
+        """Eq. 5: fraction of v's neighbours inside the group neighbourhood."""
+        grouper = make_grouper(graph, budget=1e9)
+        v = 13
+        nbrs = {int(w) for w in graph.neighbors(v)}
+        assert grouper.proximity(v, nbrs) == 1.0
+        assert grouper.proximity(v, set()) == 0.0
+
+    def test_grouping_prefers_nearby_vertices(self):
+        """Two far-apart grid clusters should not interleave in one group."""
+        graph = grid_road_network(20, 4, extra_edge_prob=0, seed=0)
+        left = list(range(0, 8))            # west end of the strip
+        right = list(range(72, 80))         # east end
+        est = MemoryEstimator(2)
+        est.calibrate(trie_nodes=800, start_vertices=100)  # 8 nodes/vertex
+        grouper = RegionGrouper(
+            graph.neighbors, est, budget_bytes=8 * 8 * NODE_BYTES, seed=1
+        )
+        groups = grouper.groups(left + right)
+        for group in groups:
+            sides = {"L" if v in left else "R" for v in group}
+            # A group that spans both ends must have been forced by exhaustion.
+            if len(group) > 2:
+                assert len(sides) == 1
+
+
+class TestRandomGroupingStrategy:
+    @pytest.fixture()
+    def graph(self):
+        from repro.graph import erdos_renyi
+
+        return erdos_renyi(80, 0.08, seed=13)
+
+    def _grouper(self, graph, strategy, budget=10_000.0):
+        estimator = MemoryEstimator(2)
+        estimator.calibrate(trie_nodes=50, start_vertices=10)
+        return RegionGrouper(
+            adjacency=graph.neighbors,
+            estimator=estimator,
+            budget_bytes=budget,
+            seed=5,
+            strategy=strategy,
+        )
+
+    def test_invalid_strategy_rejected(self, graph):
+        with pytest.raises(ValueError):
+            self._grouper(graph, "clustered")
+
+    def test_random_groups_still_partition(self, graph):
+        candidates = list(range(0, 80, 2))
+        groups = self._grouper(graph, "random").groups(candidates)
+        flat = sorted(v for g in groups for v in g)
+        assert flat == sorted(candidates)
+
+    def test_random_groups_respect_budget(self, graph):
+        estimator = MemoryEstimator(2)
+        estimator.calibrate(trie_nodes=50, start_vertices=10)
+        grouper = self._grouper(graph, "random", budget=2_000.0)
+        for group in grouper.groups(list(range(40))):
+            if len(group) > 1:
+                cost = sum(
+                    estimator.estimate_bytes(graph.degree(v)) for v in group
+                )
+                assert cost <= 2_000.0
+
+    def test_random_less_cohesive_than_proximity(self, graph):
+        """Random grouping scatters: group members share fewer neighbours."""
+
+        def cohesion(groups):
+            shared = 0
+            pairs = 0
+            for group in groups:
+                for i, v in enumerate(group):
+                    nv = set(int(x) for x in graph.neighbors(v))
+                    for w in group[i + 1:]:
+                        pairs += 1
+                        if nv & set(int(x) for x in graph.neighbors(w)):
+                            shared += 1
+            return shared / max(1, pairs)
+
+        candidates = list(range(80))
+        proximity = self._grouper(graph, "proximity", budget=3_000.0)
+        random_ = self._grouper(graph, "random", budget=3_000.0)
+        assert cohesion(proximity.groups(candidates)) >= cohesion(
+            random_.groups(candidates)
+        )

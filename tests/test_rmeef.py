@@ -1,0 +1,171 @@
+"""Focused tests for the R-Meef worker (trie maintenance, EVI, caching)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.cache import ForeignVertexCache
+from repro.core.rmeef import RMeefWorker
+from repro.core.sme import SingleMachineSplit
+from repro.engines import SingleMachineEngine
+from repro.graph import erdos_renyi
+from repro.query import best_execution_plan, named_patterns
+from repro.query.symmetry import symmetry_breaking_constraints
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = erdos_renyi(80, 0.1, seed=31)
+    cluster = Cluster.create(graph, 4)
+    return graph, cluster
+
+
+def build_worker(cluster, pattern, machine_id, flush_threshold=4 << 20):
+    plan = best_execution_plan(pattern)
+    cons = symmetry_breaking_constraints(pattern)
+    return (
+        RMeefWorker(
+            cluster, pattern, plan, cons, machine_id,
+            ForeignVertexCache(), flush_threshold=flush_threshold,
+        ),
+        SingleMachineSplit(pattern, plan, cons),
+    )
+
+
+class TestWorkerCorrectness:
+    @pytest.mark.parametrize("qname", ["q2", "q4", "q7", "cq3"])
+    def test_all_machines_union_is_truth(self, setting, qname):
+        graph, base = setting
+        pattern = named_patterns()[qname]
+        cluster = base.fresh_copy()
+        expected = set(
+            SingleMachineEngine().run(base.fresh_copy(), pattern).embeddings
+        )
+        found: list[tuple[int, ...]] = []
+        for t in range(cluster.num_machines):
+            worker, split = build_worker(cluster, pattern, t)
+            local = cluster.partition.machine(t)
+            sme = split.run(local, cluster.machine(t))
+            found.extend(sme.embeddings)
+            c1, c2 = split.split(local)
+            found.extend(worker.process_group(c2))
+        assert set(found) == expected
+        assert len(found) == len(expected)
+
+    def test_tiny_flush_threshold_still_correct(self, setting):
+        """Streaming the final round in minimal chunks must not change
+        results (only the verifyE batching granularity)."""
+        graph, base = setting
+        pattern = named_patterns()["q4"]
+        expected = set(
+            SingleMachineEngine().run(base.fresh_copy(), pattern).embeddings
+        )
+        cluster = base.fresh_copy()
+        found = []
+        for t in range(cluster.num_machines):
+            worker, split = build_worker(
+                cluster, pattern, t, flush_threshold=1
+            )
+            local = cluster.partition.machine(t)
+            sme = split.run(local, cluster.machine(t))
+            found.extend(sme.embeddings)
+            _, c2 = split.split(local)
+            found.extend(worker.process_group(c2))
+        assert set(found) == expected
+
+    def test_stolen_group_processed_remotely(self, setting):
+        """A group of machine 1's candidates processed on machine 0 (the
+        shareR path) yields exactly machine 1's distributed results."""
+        graph, base = setting
+        pattern = named_patterns()["q2"]
+        cluster = base.fresh_copy()
+        _, split = build_worker(cluster, pattern, 1)
+        local1 = cluster.partition.machine(1)
+        _, group = split.split(local1)
+        home_worker, _ = build_worker(base.fresh_copy(), pattern, 1)
+        thief_worker, _ = build_worker(cluster, pattern, 0)
+        home = home_worker.process_group(group)
+        stolen = thief_worker.process_group(group)
+        assert set(stolen) == set(home)
+
+    def test_memory_returns_to_baseline(self, setting):
+        """After a group completes, only cache bytes stay allocated."""
+        graph, base = setting
+        pattern = named_patterns()["q4"]
+        cluster = base.fresh_copy()
+        worker, split = build_worker(cluster, pattern, 0)
+        local = cluster.partition.machine(0)
+        _, c2 = split.split(local)
+        worker.process_group(c2)
+        machine = cluster.machine(0)
+        assert machine.memory_used == worker._cache.bytes_used
+
+    def test_count_only(self, setting):
+        graph, base = setting
+        pattern = named_patterns()["q2"]
+        cluster = base.fresh_copy()
+        worker, split = build_worker(cluster, pattern, 0)
+        _, c2 = split.split(cluster.partition.machine(0))
+        collected = worker.process_group(c2, collect=True)
+        cluster2 = base.fresh_copy()
+        worker2, split2 = build_worker(cluster2, pattern, 0)
+        _, c2b = split2.split(cluster2.partition.machine(0))
+        empty = worker2.process_group(c2b, collect=False)
+        assert empty == []
+        assert worker2.last_group_count == len(collected)
+
+
+class TestStarvedCache:
+    def test_single_entry_cache_still_correct(self, setting):
+        """Regression: a cache smaller than a fetch batch must not drop
+        start candidates (they are re-fetched on demand)."""
+        graph, base = setting
+        pattern = named_patterns()["q2"]
+        cluster = base.fresh_copy()
+        plan_worker, split = build_worker(cluster, pattern, 0)
+        local1 = cluster.partition.machine(1)
+        _, group = split.split(local1)
+        # Stolen group (all-foreign candidates) + one-entry cache.
+        from repro.query import best_execution_plan
+        from repro.query.symmetry import symmetry_breaking_constraints
+
+        plan = best_execution_plan(pattern)
+        cons = symmetry_breaking_constraints(pattern)
+        starved = RMeefWorker(
+            cluster, pattern, plan, cons, 0, ForeignVertexCache(0)
+        )
+        roomy = RMeefWorker(
+            base.fresh_copy(), pattern, plan, cons, 0, ForeignVertexCache()
+        )
+        assert set(starved.process_group(group)) == set(
+            roomy.process_group(group)
+        )
+
+
+class TestWorkerCommunication:
+    def test_cache_prevents_refetch(self, setting):
+        graph, base = setting
+        pattern = named_patterns()["q4"]
+        cluster = base.fresh_copy()
+        worker, split = build_worker(cluster, pattern, 0)
+        _, c2 = split.split(cluster.partition.machine(0))
+        if not c2:
+            pytest.skip("no distributed candidates on this partition")
+        worker.process_group(c2)
+        bytes_first = cluster.total_comm_bytes()
+        worker.process_group(c2)  # same group again: everything cached
+        bytes_second = cluster.total_comm_bytes() - bytes_first
+        assert bytes_second < bytes_first or bytes_first == 0
+
+    def test_daemon_serves_requests(self, setting):
+        """Remote fetch/verify service lands on daemon clocks, not main."""
+        graph, base = setting
+        pattern = named_patterns()["q4"]
+        cluster = base.fresh_copy()
+        worker, split = build_worker(cluster, pattern, 0)
+        _, c2 = split.split(cluster.partition.machine(0))
+        worker.process_group(c2)
+        remote_daemons = sum(
+            m.daemon_clock for m in cluster.machines if m.machine_id != 0
+        )
+        if cluster.total_comm_bytes() > 0:
+            assert remote_daemons > 0

@@ -1,0 +1,83 @@
+"""Tests for MLST / connected dominating set machinery (paper Sec. 4.1)."""
+
+import pytest
+
+from repro.query.patterns import (
+    PAPER_QUERIES,
+    clique,
+    path,
+    running_example,
+    square,
+    star,
+    triangle,
+)
+from repro.query.spanning import (
+    connected_dominating_sets,
+    connected_domination_number,
+    maximum_leaf_spanning_tree,
+    minimum_connected_dominating_set,
+    spanning_trees,
+    tree_leaf_count,
+)
+
+
+class TestSpanningTrees:
+    def test_triangle_has_three(self):
+        assert len(spanning_trees(triangle())) == 3
+
+    def test_square_has_four(self):
+        assert len(spanning_trees(square())) == 4
+
+    def test_trees_have_n_minus_1_edges(self):
+        for tree in spanning_trees(PAPER_QUERIES["q4"]):
+            assert len(tree) == PAPER_QUERIES["q4"].num_vertices - 1
+
+    def test_k4_cayley(self):
+        # Cayley's formula: K4 has 4^2 = 16 spanning trees.
+        assert len(spanning_trees(clique(4))) == 16
+
+
+class TestMLST:
+    def test_star_all_leaves(self):
+        tree, leaves = maximum_leaf_spanning_tree(star(4))
+        assert leaves == 4
+
+    def test_path_two_leaves(self):
+        _, leaves = maximum_leaf_spanning_tree(path(5))
+        assert leaves == 2
+
+    def test_leaf_count_helper(self):
+        assert tree_leaf_count(3, ((0, 1), (1, 2))) == 2
+
+
+class TestCDS:
+    @pytest.mark.parametrize("pattern,expected", [
+        (triangle(), 1),
+        (star(3), 1),
+        (square(), 2),
+        (path(4), 2),
+        (path(5), 3),
+        (clique(5), 1),
+    ])
+    def test_domination_number(self, pattern, expected):
+        assert connected_domination_number(pattern) == expected
+
+    def test_douglas_identity(self):
+        """|V_P| = c_P + l_P (Douglas 1992), used by Theorem 1."""
+        for name, p in PAPER_QUERIES.items():
+            _, leaves = maximum_leaf_spanning_tree(p)
+            assert p.num_vertices == connected_domination_number(p) + leaves, name
+
+    def test_cds_is_dominating_and_connected(self):
+        p = PAPER_QUERIES["q8"]
+        cds = minimum_connected_dominating_set(p)
+        for v in p.vertices():
+            assert v in cds or (p.adj(v) & cds)
+
+    def test_all_cds_of_size(self):
+        sets = connected_dominating_sets(square(), 2)
+        # Any adjacent pair dominates the square.
+        assert len(sets) == 4
+
+    def test_running_example_cp_is_3(self):
+        assert connected_domination_number(running_example()) == 3
