@@ -3,7 +3,13 @@
 Each benchmark runs its experiment exactly once (``pedantic`` with one
 round): the experiments are deterministic simulations, so statistical
 repetition would only burn time.  Every benchmark also appends its
-paper-style table to ``benchmarks/out/`` so the results survive the run.
+paper-style table to ``benchmarks/out/`` so the results survive the run —
+set ``REPRO_BENCH_OUT=0`` to print without touching the working tree
+(CI does this).
+
+Everything collected from this directory is marked ``bench``, which the
+tier-1 pytest configuration (pyproject.toml) deselects by default; run
+``python -m pytest benchmarks -m bench`` to execute the suite.
 """
 
 from __future__ import annotations
@@ -14,17 +20,32 @@ import pathlib
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+_HERE = pathlib.Path(__file__).parent.resolve()
+
+
+def _persist_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_OUT", "1") not in ("0", "false", "no")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-apply the ``bench`` marker to every test in benchmarks/."""
+    for item in items:
+        if _HERE in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")
 def report():
     """Callable that prints a table and persists it under benchmarks/out/."""
-    OUT_DIR.mkdir(exist_ok=True)
+    persist = _persist_enabled()
+    if persist:
+        OUT_DIR.mkdir(parents=True, exist_ok=True)
 
     def _report(name: str, text: str) -> None:
         print(f"\n{text}\n")
-        with open(OUT_DIR / f"{name}.txt", "w", encoding="utf-8") as fh:
-            fh.write(text + "\n")
+        if persist:
+            with open(OUT_DIR / f"{name}.txt", "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
 
     return _report
 

@@ -40,6 +40,10 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     ),
     "labeled_embeddings": ("repro.enumeration.labeled", "labeled_embeddings"),
     "best_execution_plan": ("repro.query.plan", "best_execution_plan"),
+    "Executor": ("repro.runtime.executor", "Executor"),
+    "SerialExecutor": ("repro.runtime.executor", "SerialExecutor"),
+    "ProcessExecutor": ("repro.runtime.executor", "ProcessExecutor"),
+    "get_executor": ("repro.runtime.executor", "get_executor"),
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS)]

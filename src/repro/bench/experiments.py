@@ -87,8 +87,14 @@ def exp_performance(
     queries: list[str] | None = None,
     num_machines: int = 10,
     engines: dict[str, EnumerationEngine] | None = None,
+    workers: int = 0,
 ) -> GridResult:
-    """Time + communication grid for one dataset (Figs. 8, 9, 10, 11)."""
+    """Time + communication grid for one dataset (Figs. 8, 9, 10, 11).
+
+    ``workers`` selects the execution backend (0 = serial): counts are
+    identical either way, so the parallel-runtime benchmark compares the
+    wall-clock of the same grid under both backends.
+    """
     graph = bench_graph(dataset_name)
     if engines is None:
         engines = {name: cls() for name, cls in all_engines().items()}
@@ -104,6 +110,7 @@ def exp_performance(
         engines=engines,
         num_machines=num_machines,
         memory_capacity=FIGURE_MEMORY_CAPACITY.get(dataset_name),
+        workers=workers,
     )
 
 

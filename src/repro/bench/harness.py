@@ -11,6 +11,7 @@ from repro.graph.graph import Graph
 from repro.partition import MetisLikePartitioner
 from repro.query import named_patterns
 from repro.query.pattern import Pattern
+from repro.runtime import Executor, get_executor
 
 
 @dataclass
@@ -66,31 +67,48 @@ def run_query_grid(
     num_machines: int = 10,
     memory_capacity: int | None = None,
     check_consistency: bool = True,
+    workers: int = 0,
+    executor: Executor | None = None,
 ) -> GridResult:
     """Run every engine on every query over a shared partition.
 
     Engines never see each other's clusters (fresh clocks/memory per run);
     with ``check_consistency`` all successful engines must report the same
     embedding count per query.
+
+    ``workers`` > 0 fans the independent per-machine work of every run out
+    over that many OS processes (embedding counts are backend-independent);
+    alternatively pass a ready-made ``executor`` to share its process pool
+    across grids.
     """
     if engines is None:
         engines = {name: cls() for name, cls in all_engines().items()}
     base = make_cluster(graph, num_machines, memory_capacity)
     patterns = named_patterns()
     grid = GridResult(dataset_name, num_machines)
-    for qname in queries:
-        pattern = patterns[qname]
-        counts: dict[str, int] = {}
-        for ename, engine in engines.items():
-            cluster = base.fresh_copy()
-            result = engine.run(cluster, pattern, collect_embeddings=False)
-            grid.results[(ename, qname)] = result
-            if not result.failed:
-                counts[ename] = result.embedding_count
-        if check_consistency and len(set(counts.values())) > 1:
-            raise AssertionError(
-                f"engines disagree on {dataset_name}/{qname}: {counts}"
-            )
+    own_executor = executor is None
+    executor = executor or get_executor(workers)
+    try:
+        for qname in queries:
+            pattern = patterns[qname]
+            counts: dict[str, int] = {}
+            for ename, engine in engines.items():
+                cluster = base.fresh_copy()
+                result = engine.run(
+                    cluster, pattern,
+                    collect_embeddings=False,
+                    executor=executor,
+                )
+                grid.results[(ename, qname)] = result
+                if not result.failed:
+                    counts[ename] = result.embedding_count
+            if check_consistency and len(set(counts.values())) > 1:
+                raise AssertionError(
+                    f"engines disagree on {dataset_name}/{qname}: {counts}"
+                )
+    finally:
+        if own_executor:
+            executor.close()
     return grid
 
 

@@ -4,9 +4,13 @@ Four subcommands cover the library's workflows end to end::
 
     python -m repro generate --dataset roadnet --out road.npz
     python -m repro enumerate --graph road.npz --query q4 --engine RADS \
-        --machines 10
+        --machines 10 --workers 4
     python -m repro plan --query q5 [--graph road.npz]
     python -m repro profile --graph road.npz
+
+``--workers N`` runs the simulated machines' independent work on ``N``
+OS processes (the :mod:`repro.runtime` process-pool backend); results are
+identical to the default serial execution.
 
 Graphs are read by extension: ``.npz`` (binary CSR), ``.edges`` (SNAP edge
 list) or ``.adj`` (adjacency text).
@@ -33,6 +37,7 @@ from repro.graph.io import (
 )
 from repro.query import best_execution_plan, named_patterns
 from repro.query.plan_stats import estimate_plan, plan_space_summary
+from repro.runtime import get_executor
 
 
 def load_graph(path: str) -> Graph:
@@ -90,9 +95,12 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     )
     if args.straggler > 1.0:
         cluster.set_speed_factor(0, 1.0 / args.straggler)
-    result = engine_cls().run(
-        cluster, pattern, collect_embeddings=args.show > 0
-    )
+    with get_executor(args.workers) as executor:
+        result = engine_cls().run(
+            cluster, pattern,
+            collect_embeddings=args.show > 0,
+            executor=executor,
+        )
     if result.failed:
         print(f"FAILED: {result.failure}")
         return 1
@@ -206,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
     enum.add_argument("--memory-mb", type=int, default=None)
     enum.add_argument("--straggler", type=float, default=1.0,
                       help="slow machine 0 down by this factor")
+    enum.add_argument("--workers", type=int, default=0,
+                      help="execute independent per-machine work on N OS "
+                           "processes sharing the graph via shared memory "
+                           "(0 = serial, the default); embedding counts "
+                           "are identical for every worker count")
     enum.add_argument("--show", type=int, default=0,
                       help="print up to N embeddings")
     enum.set_defaults(func=_cmd_enumerate)

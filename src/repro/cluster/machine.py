@@ -23,6 +23,15 @@ class SimulatedMemoryError(RuntimeError):
         self.used = used
         self.capacity = capacity
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the message) into
+        # ``__init__``, which expects the four fields; rebuild explicitly so
+        # the error crosses process boundaries intact.
+        return (
+            SimulatedMemoryError,
+            (self.machine_id, self.requested, self.used, self.capacity),
+        )
+
 
 class Machine:
     """One simulated cluster node.

@@ -2,10 +2,18 @@
 work stealing (paper Sec. 3, 6 and the checkR/shareR protocol).
 
 Machines run independently on their own virtual clocks — there are no
-barriers anywhere.  The scheduler always advances the machine with the
-smallest clock, which is exactly how an asynchronous cluster interleaves;
-an idle machine broadcasts `checkR` and steals a region group (`shareR`)
-from the most loaded peer.
+barriers anywhere.  Under the default serial backend the scheduler always
+advances the machine with the smallest clock, which is exactly how an
+asynchronous cluster interleaves; an idle machine broadcasts `checkR` and
+steals a region group (`shareR`) from the most loaded peer.
+
+Under a parallel backend (:class:`repro.runtime.ProcessExecutor`) both
+phases are decomposed into independent per-machine tasks: phase 1 (SM-E +
+region grouping) is embarrassingly parallel, and phase 2 replaces the
+clock-driven steal schedule with a deterministic pre-balancing pass that
+charges the same `checkR`/`shareR` network costs up front, so reported
+stats are identical for every worker count.  Embedding counts are
+identical across *all* backends.
 """
 
 from __future__ import annotations
@@ -22,9 +30,91 @@ from repro.core.sme import SingleMachineSplit
 from repro.engines.base import EnumerationEngine
 from repro.query.pattern import Pattern
 from repro.query.plan import ExecutionPlan, best_execution_plan
+from repro.runtime.executor import Executor
 
 #: Default simulated memory budget when the cluster has no explicit cap.
 DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def _process_group_splitting(
+    worker: RMeefWorker,
+    group: list[int],
+    collect: bool,
+    results: list[tuple[int, ...]],
+) -> int:
+    """Process one region group, splitting and retrying on simulated OOM.
+
+    The memory estimate behind region grouping is only an estimate
+    (Sec. 6); when a group's actual trie outgrows the capacity, halving
+    it restores the invariant the estimate was meant to uphold.  A
+    single-candidate group that still does not fit is a genuine OOM.
+    Returns the number of embeddings the group produced.
+    """
+    try:
+        found = worker.process_group(group, collect)
+    except SimulatedMemoryError:
+        if len(group) <= 1:
+            raise
+        mid = len(group) // 2
+        count = _process_group_splitting(worker, group[:mid], collect, results)
+        count += _process_group_splitting(worker, group[mid:], collect, results)
+        return count
+    if collect:
+        results.extend(found)
+    return worker.last_group_count
+
+
+def _phase1_task(cluster: Cluster, args: tuple) -> tuple:
+    """SM-E split + region grouping for one machine (independent unit)."""
+    (
+        t, pattern, plan, constraints, enable_sme, collect,
+        results_budget, min_groups, grouping, seed,
+    ) = args
+    local = cluster.partition.machine(t)
+    machine = cluster.machine(t)
+    split = SingleMachineSplit(pattern, plan, constraints)
+    estimator = MemoryEstimator(len(plan.units[0].leaves))
+    embeddings: list[tuple[int, ...]] = []
+    sme_count = 0
+    if enable_sme:
+        sme = split.run(local, machine, estimator)
+        sme_count = len(sme.embeddings)
+        if collect:
+            embeddings = sme.embeddings
+        distributed = sme.distributed_candidates
+    else:
+        distributed = split.candidates(local)
+    machine.charge_ops(len(distributed), "grouping_ops")
+    total_estimate = sum(
+        estimator.estimate_bytes(local.degree(v)) for v in distributed
+    )
+    budget = min(results_budget, max(1.0, total_estimate / min_groups))
+    grouper = RegionGrouper(
+        adjacency=local.graph.neighbors,
+        estimator=estimator,
+        budget_bytes=budget,
+        seed=seed + t,
+        strategy=grouping,
+    )
+    return t, sme_count, embeddings, list(grouper.groups(distributed))
+
+
+def _phase2_task(cluster: Cluster, args: tuple) -> tuple:
+    """R-Meef over one machine's (pre-balanced) region groups."""
+    (
+        t, pattern, plan, constraints, collect,
+        cache_budget, flush_threshold, groups,
+    ) = args
+    worker = RMeefWorker(
+        cluster, pattern, plan, constraints, t,
+        ForeignVertexCache(cache_budget),
+        flush_threshold=flush_threshold,
+    )
+    results: list[tuple[int, ...]] = []
+    count = 0
+    for group in groups:
+        count += _process_group_splitting(worker, group, collect, results)
+    return t, count, results
 
 
 class RADSEngine(EnumerationEngine):
@@ -74,46 +164,59 @@ class RADSEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
         plan = self._plan_provider(pattern)
         self.last_plan = plan
-        split = SingleMachineSplit(pattern, plan, constraints)
         results_budget, cache_budget = self._budgets(cluster)
         results: list[tuple[int, ...]] = []
         self._count = 0
         queues: dict[int, deque[list[int]]] = {}
 
         # Phase 1 (per machine, independent): SM-E and region grouping.
-        for t in range(cluster.num_machines):
-            local = cluster.partition.machine(t)
-            machine = cluster.machine(t)
-            estimator = MemoryEstimator(len(plan.units[0].leaves))
-            if self._enable_sme:
-                sme = split.run(local, machine, estimator)
-                if collect:
-                    results.extend(sme.embeddings)
-                self._count += len(sme.embeddings)
-                distributed = sme.distributed_candidates
-            else:
-                distributed = split.candidates(local)
-            machine.charge_ops(len(distributed), "grouping_ops")
-            total_estimate = sum(
-                estimator.estimate_bytes(local.degree(v)) for v in distributed
-            )
-            budget = min(
-                results_budget,
-                max(1.0, total_estimate / self._min_groups),
-            )
-            grouper = RegionGrouper(
-                adjacency=local.graph.neighbors,
-                estimator=estimator,
-                budget_bytes=budget,
-                seed=self._seed + t,
-                strategy=self._grouping,
-            )
-            queues[t] = deque(grouper.groups(distributed))
+        phase1 = executor.run_tasks(
+            cluster,
+            _phase1_task,
+            [
+                (
+                    t, pattern, plan, constraints, self._enable_sme, collect,
+                    results_budget, self._min_groups, self._grouping,
+                    self._seed,
+                )
+                for t in range(cluster.num_machines)
+            ],
+        )
+        for t, sme_count, embeddings, groups in phase1:
+            self._count += sme_count
+            if collect:
+                results.extend(embeddings)
+            queues[t] = deque(groups)
 
-        # Phase 2 (asynchronous): process region groups, stealing when idle.
+        # Phase 2: process region groups.  A parallel backend trades the
+        # clock-driven steal schedule for an up-front deterministic
+        # rebalance, making every machine's queue an independent task.
+        if executor.parallel:
+            self._prebalance(cluster, queues)
+            for t, count, found in executor.run_tasks(
+                cluster,
+                _phase2_task,
+                [
+                    (
+                        t, pattern, plan, constraints, collect,
+                        int(cache_budget), results_budget / 2,
+                        list(queues[t]),
+                    )
+                    for t in range(cluster.num_machines)
+                    if queues[t]
+                ],
+            ):
+                self._count += count
+                if collect:
+                    results.extend(found)
+            return results
+
+        # Serial backend (asynchronous simulation): always advance the
+        # machine with the smallest clock, stealing when idle.
         workers = {
             t: RMeefWorker(
                 cluster, pattern, plan, constraints, t,
@@ -125,12 +228,15 @@ class RADSEngine(EnumerationEngine):
         done: set[int] = set()
         model = cluster.cost_model
         while len(done) < cluster.num_machines:
-            executor = min(
+            # The paper's "executor machine": the one whose clock is
+            # furthest behind (careful: distinct from the `executor`
+            # backend parameter, which the serial path no longer needs).
+            active = min(
                 (t for t in range(cluster.num_machines) if t not in done),
                 key=lambda t: cluster.machine(t).clock,
             )
-            if queues[executor]:
-                group = queues[executor].popleft()
+            if queues[active]:
+                group = queues[active].popleft()
             elif self._enable_work_stealing:
                 # Stealing a group means fetching all its candidates'
                 # adjacency remotely, so it only pays off against a real
@@ -138,14 +244,14 @@ class RADSEngine(EnumerationEngine):
                 # groups (the checkR counts tell us).
                 victims = [
                     t for t in range(cluster.num_machines)
-                    if t != executor and len(queues[t]) >= 2
+                    if t != active and len(queues[t]) >= 2
                 ]
                 if not victims:
-                    done.add(executor)
+                    done.add(active)
                     continue
                 # checkR: broadcast probe for unprocessed group counts.
                 cluster.network.broadcast(
-                    cluster.machine(executor),
+                    cluster.machine(active),
                     cluster.machines,
                     nbytes=8,
                 )
@@ -153,16 +259,16 @@ class RADSEngine(EnumerationEngine):
                 group = queues[victim].popleft()
                 # shareR: the stolen group's candidate ids cross the wire.
                 cluster.network.rpc(
-                    requester=cluster.machine(executor),
+                    requester=cluster.machine(active),
                     responder=cluster.machine(victim),
                     request_bytes=8,
                     response_bytes=len(group) * model.bytes_per_vertex_id,
                     service_ops=float(len(group)),
                 )
             else:
-                done.add(executor)
+                done.add(active)
                 continue
-            self._run_group(workers[executor], group, collect, results)
+            self._run_group(workers[active], group, collect, results)
         return results
 
     def _run_group(
@@ -172,22 +278,41 @@ class RADSEngine(EnumerationEngine):
         collect: bool,
         results: list[tuple[int, ...]],
     ) -> None:
-        """Process a region group, splitting and retrying on simulated OOM.
+        """Process one region group with OOM split-and-retry (serial path)."""
+        self._count += _process_group_splitting(worker, group, collect, results)
 
-        The memory estimate behind region grouping is only an estimate
-        (Sec. 6); when a group's actual trie outgrows the capacity, halving
-        it restores the invariant the estimate was meant to uphold.  A
-        single-candidate group that still does not fit is a genuine OOM.
+    def _prebalance(
+        self, cluster: Cluster, queues: dict[int, deque[list[int]]]
+    ) -> None:
+        """Deterministic checkR/shareR for the parallel backend.
+
+        The serial scheduler steals reactively, driven by the clock
+        interleaving; a parallel run has no such global schedule, so load
+        balancing is decided before the queues fan out: each idle machine
+        probes (`checkR` broadcast) and takes one group (`shareR` RPC) from
+        the most backlogged peer until no peer has a shareable backlog.
+        The same network costs as a reactive steal are charged, and the
+        outcome depends only on the queues, never on worker count.
         """
-        try:
-            found = worker.process_group(group, collect)
-        except SimulatedMemoryError:
-            if len(group) <= 1:
-                raise
-            mid = len(group) // 2
-            self._run_group(worker, group[:mid], collect, results)
-            self._run_group(worker, group[mid:], collect, results)
+        if not self._enable_work_stealing:
             return
-        if collect:
-            results.extend(found)
-        self._count += worker.last_group_count
+        model = cluster.cost_model
+        while True:
+            idle = [t for t in sorted(queues) if not queues[t]]
+            victims = [t for t in sorted(queues) if len(queues[t]) >= 2]
+            if not idle or not victims:
+                return
+            thief = idle[0]
+            victim = max(victims, key=lambda t: len(queues[t]))
+            cluster.network.broadcast(
+                cluster.machine(thief), cluster.machines, nbytes=8
+            )
+            group = queues[victim].popleft()
+            cluster.network.rpc(
+                requester=cluster.machine(thief),
+                responder=cluster.machine(victim),
+                request_bytes=8,
+                response_bytes=len(group) * model.bytes_per_vertex_id,
+                service_ops=float(len(group)),
+            )
+            queues[thief].append(group)

@@ -16,6 +16,13 @@ decomposition unit ``dp_i``:
   candidates out of the trie (cascade removal).
 
 No intermediate results ever leave the executor machine.
+
+Region groups are independent units of work: under the serial backend the
+RADS scheduler interleaves workers by virtual clock, while under the
+process backend (:mod:`repro.runtime`) each worker is constructed inside
+an OS worker process against a shared-memory replica of the cluster and
+drains one machine's whole queue; either way the per-group computation —
+and therefore the embedding count — is identical.
 """
 
 from __future__ import annotations

@@ -9,6 +9,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.machine import SimulatedMemoryError
 from repro.query.pattern import Pattern
 from repro.query.symmetry import symmetry_breaking_constraints
+from repro.runtime.executor import Executor, SerialExecutor
 
 
 @dataclass
@@ -64,26 +65,38 @@ class EnumerationEngine(ABC):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
         """Run the algorithm; return embeddings (empty list when not collecting,
-        in which case ``self._count`` must be set)."""
+        in which case ``self._count`` must be set).
+
+        ``executor`` is the execution backend for independent per-machine /
+        per-region-group units of work; engines that are inherently
+        sequential may ignore it.
+        """
 
     def run(
         self,
         cluster: Cluster,
         pattern: Pattern,
         collect_embeddings: bool = True,
+        executor: Executor | None = None,
     ) -> RunResult:
         """Execute on ``cluster`` and package stats into a RunResult.
 
         Simulated OOM is caught and reported as a failed run rather than an
         exception, matching how the paper reports crashed competitors.
+
+        ``executor`` selects the execution backend (default: serial).  The
+        embedding counts — and, for schedule-free engines, every reported
+        statistic — are independent of the backend and its worker count.
         """
         constraints = symmetry_breaking_constraints(pattern)
         self._count = 0
         try:
             embeddings = self._execute(
-                cluster, pattern, constraints, collect_embeddings
+                cluster, pattern, constraints, collect_embeddings,
+                executor or SerialExecutor(),
             )
         except SimulatedMemoryError as exc:
             return RunResult(

@@ -23,6 +23,77 @@ from repro.engines.base import EnumerationEngine
 from repro.enumeration.backtracking import compute_matching_order
 from repro.query.pattern import Pattern
 from repro.query.symmetry import constraint_map
+from repro.runtime.executor import Executor
+
+
+def _intersect_task(cluster: Cluster, args: tuple) -> tuple:
+    """Narrow candidate sets at one hop owner (independent task)."""
+    t, routed_t, hop, prefix_width = args
+    graph = cluster.graph
+    model = cluster.cost_model
+    machine = cluster.machine(t)
+    prefix_bytes = model.embedding_bytes(prefix_width)
+    ops = 0
+    narrowed = []
+    for prefix, cands in routed_t:
+        adjacency = graph.neighbors(prefix[hop])
+        if cands is None:
+            cands = adjacency
+        else:
+            ops += min(len(cands), len(adjacency))
+            cands = np.intersect1d(cands, adjacency, assume_unique=True)
+        if len(cands):
+            narrowed.append((prefix, cands))
+    machine.charge_ops(ops, "intersect_ops")
+    machine.allocate(
+        sum(len(c) * 8 for _, c in narrowed)
+        + len(narrowed) * prefix_bytes,
+        "prefix_bytes",
+    )
+    machine.free(
+        sum(0 if c is None else len(c) * 8 for _, c in routed_t)
+        + len(routed_t) * prefix_bytes
+    )
+    return t, narrowed
+
+
+def _extend_task(cluster: Cluster, args: tuple) -> tuple:
+    """Materialise extensions at one machine (independent task)."""
+    (
+        t, inflight_t, q, min_degree, lower_positions, upper_positions,
+    ) = args
+    graph = cluster.graph
+    model = cluster.cost_model
+    machine = cluster.machine(t)
+    ops = 0
+    extended: list[tuple[int, ...]] = []
+    for prefix, cands in inflight_t:
+        lo, hi = -1, None
+        for p in lower_positions:
+            lo = max(lo, prefix[p])
+        for p in upper_positions:
+            hi = prefix[p] if hi is None else min(hi, prefix[p])
+        if lo >= 0:
+            cands = cands[np.searchsorted(cands, lo + 1):]
+        if hi is not None:
+            cands = cands[: np.searchsorted(cands, hi)]
+        for v in cands:
+            v = int(v)
+            ops += 1
+            if v in prefix:
+                continue
+            if graph.degree(v) < min_degree:
+                continue
+            extended.append(prefix + (v,))
+    machine.charge_ops(ops, "extend_ops")
+    machine.free(
+        sum(len(c) * 8 for _, c in inflight_t)
+        + len(inflight_t) * model.embedding_bytes(q)
+    )
+    machine.allocate(
+        len(extended) * model.embedding_bytes(q + 1), "prefix_bytes"
+    )
+    return t, extended
 
 
 class BigJoinEngine(EnumerationEngine):
@@ -36,8 +107,8 @@ class BigJoinEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
-        graph = cluster.graph
         partition = cluster.partition
         model = cluster.cost_model
         num_machines = cluster.num_machines
@@ -52,19 +123,6 @@ class BigJoinEngine(EnumerationEngine):
             )
             for q in range(n)
         ]
-
-        def bounds(q: int, partial: tuple[int, ...]) -> tuple[int, int | None]:
-            u = order[q]
-            lo, hi = -1, None
-            for w in greater[u]:
-                pw = position[w]
-                if pw < q:
-                    lo = max(lo, partial[pw])
-            for w in smaller[u]:
-                pw = position[w]
-                if pw < q:
-                    hi = partial[pw] if hi is None else min(hi, partial[pw])
-            return lo, hi
 
         # Seed prefixes at the owners of candidate first vertices.
         start_degree = pattern.degree(order[0])
@@ -107,65 +165,29 @@ class BigJoinEngine(EnumerationEngine):
                             extra = 0 if cands is None else len(cands) * 8
                             payload[t, dst] += prefix_bytes + extra
                 cluster.network.shuffle(cluster.machines, payload)
-                # Intersect locally at the owner of this hop's vertex.
-                for t in range(num_machines):
-                    machine = cluster.machine(t)
-                    ops = 0
-                    narrowed = []
-                    for prefix, cands in routed[t]:
-                        adjacency = graph.neighbors(prefix[hop])
-                        if cands is None:
-                            cands = adjacency
-                        else:
-                            ops += min(len(cands), len(adjacency))
-                            cands = np.intersect1d(
-                                cands, adjacency, assume_unique=True
-                            )
-                        if len(cands):
-                            narrowed.append((prefix, cands))
-                    machine.charge_ops(ops, "intersect_ops")
+                # Intersect locally at the owners of this hop's vertex —
+                # one independent task per machine.
+                for t, narrowed in executor.run_tasks(
+                    cluster,
+                    _intersect_task,
+                    [(t, routed[t], hop, q) for t in range(num_machines)],
+                ):
                     inflight[t] = narrowed
-                    machine.allocate(
-                        sum(len(c) * 8 for _, c in narrowed)
-                        + len(narrowed) * prefix_bytes,
-                        "prefix_bytes",
-                    )
-                    machine.free(
-                        sum(
-                            0 if c is None else len(c) * 8
-                            for _, c in routed[t]
-                        )
-                        + len(routed[t]) * prefix_bytes
-                    )
-            # Materialise extensions.
+            # Materialise extensions, one independent task per machine.
+            u = order[q]
+            extend_args = [
+                (
+                    t, inflight[t], q, pattern.degree(u),
+                    [position[w] for w in greater[u] if position[w] < q],
+                    [position[w] for w in smaller[u] if position[w] < q],
+                )
+                for t in range(num_machines)
+            ]
             next_prefixes: dict[int, list[tuple[int, ...]]] = defaultdict(list)
-            min_degree = pattern.degree(order[q])
-            for t in range(num_machines):
-                machine = cluster.machine(t)
-                ops = 0
-                for prefix, cands in inflight[t]:
-                    lo, hi = bounds(q, prefix)
-                    if lo >= 0:
-                        cands = cands[np.searchsorted(cands, lo + 1):]
-                    if hi is not None:
-                        cands = cands[: np.searchsorted(cands, hi)]
-                    for v in cands:
-                        v = int(v)
-                        ops += 1
-                        if v in prefix:
-                            continue
-                        if graph.degree(v) < min_degree:
-                            continue
-                        next_prefixes[t].append(prefix + (v,))
-                machine.charge_ops(ops, "extend_ops")
-                machine.free(
-                    sum(len(c) * 8 for _, c in inflight[t])
-                    + len(inflight[t]) * model.embedding_bytes(q)
-                )
-                machine.allocate(
-                    len(next_prefixes[t]) * model.embedding_bytes(q + 1),
-                    "prefix_bytes",
-                )
+            for t, extended in executor.run_tasks(
+                cluster, _extend_task, extend_args
+            ):
+                next_prefixes[t] = extended
             cluster.barrier()
             prefixes = next_prefixes
 

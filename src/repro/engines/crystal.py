@@ -33,6 +33,128 @@ from repro.enumeration.backtracking import (
 from repro.graph.cliques import maximal_cliques
 from repro.graph.graph import Graph
 from repro.query.pattern import Pattern
+from repro.runtime.executor import Executor
+
+
+def _core_general_task(cluster: Cluster, args: tuple) -> tuple:
+    """Enumerate one machine's core embeddings via backtracking
+    (the general, index-free path — independent per machine)."""
+    (
+        t, sub_pattern, sub_constraints, order, core_list, remap,
+        start_degree,
+    ) = args
+    graph = cluster.graph
+    local = cluster.partition.machine(t)
+    machine = cluster.machine(t)
+    model = cluster.cost_model
+    stats = EnumerationStats()
+    enumerator = BacktrackingEnumerator(
+        pattern=sub_pattern,
+        adjacency=graph.neighbors,
+        constraints=sub_constraints,
+        order=order,
+        stats=stats,
+    )
+    starts = [
+        int(v)
+        for v in local.owned_vertices
+        if local.degree(int(v)) >= start_degree
+    ]
+    seen: set[tuple[int, ...]] = set()
+    found: list[dict[int, int]] = []
+    for emb in enumerator.run(starts):
+        key = tuple(emb[remap[u]] for u in core_list)
+        if key in seen:
+            continue
+        seen.add(key)
+        found.append(dict(zip(core_list, key)))
+    machine.charge_ops(stats.total_ops, "core_ops")
+    machine.allocate(len(found) * len(core_list) * 8, "core_bytes")
+    # Reading adjacency beyond owned vertices is an index/HDFS scan.
+    machine.advance(model.disk_time(stats.candidates_scanned * 8))
+    return t, found
+
+
+def _bud_combine_task(cluster: Cluster, args: tuple) -> tuple:
+    """Attach bud candidates to one machine's core embeddings and
+    decompress into full embeddings (independent per machine)."""
+    (
+        t, core_embs_t, bud_order, att_lists, clique_flags, bud_degrees,
+        all_pairs, num_vertices, collect,
+    ) = args
+    graph = cluster.graph
+    model = cluster.cost_model
+    machine = cluster.machine(t)
+    results: list[tuple[int, ...]] = []
+    count = 0
+    ops = 0
+    disk_bytes = 0
+    cand_bytes = 0
+    for core_emb in core_embs_t:
+        bud_cands: list[np.ndarray] = []
+        dead = False
+        for i, u in enumerate(bud_order):
+            att = att_lists[i]
+            arrays = sorted(
+                (graph.neighbors(core_emb[w]) for w in att), key=len
+            )
+            cands = arrays[0]
+            for arr in arrays[1:]:
+                cands = np.intersect1d(cands, arr, assume_unique=True)
+            if clique_flags[i]:
+                # Index lookup: pay only for streaming the entry.
+                disk_bytes += (len(cands) + len(att)) * 8
+                ops += len(cands) // 8 + 1
+            else:
+                ops += sum(len(a) for a in arrays)
+            degree_u = bud_degrees[i]
+            cands = cands[
+                np.fromiter(
+                    (graph.degree(int(v)) >= degree_u for v in cands),
+                    dtype=bool,
+                    count=len(cands),
+                )
+            ] if len(cands) else cands
+            if len(cands) == 0:
+                dead = True
+                break
+            bud_cands.append(cands)
+            cand_bytes += len(cands) * 8
+        if dead:
+            continue
+        # Combine buds (decompression): injectivity + constraints.
+        base = [0] * num_vertices
+        for u, v in core_emb.items():
+            base[u] = v
+        core_values = set(core_emb.values())
+
+        def combine(idx: int) -> None:
+            nonlocal count, ops
+            if idx == len(bud_order):
+                tup = tuple(base)
+                if ConstraintChecker.ok_tuple(tup, all_pairs):
+                    count += 1
+                    if collect:
+                        results.append(tup)
+                return
+            u = bud_order[idx]
+            for v in bud_cands[idx]:
+                v = int(v)
+                ops += 1
+                if v in core_values:
+                    continue
+                if any(base[w] == v for w in bud_order[:idx]):
+                    continue
+                base[u] = v
+                combine(idx + 1)
+            base[u] = 0
+
+        combine(0)
+    machine.charge_ops(ops, "crystal_ops")
+    machine.advance(model.disk_time(disk_bytes))
+    machine.allocate(cand_bytes, "candidate_bytes")
+    machine.free(cand_bytes)
+    return t, count, results
 
 
 #: Per-entry on-disk overhead of the index: besides the member ids, Crystal
@@ -168,6 +290,7 @@ class CrystalEngine(EnumerationEngine):
         core: frozenset[int],
         checker: ConstraintChecker,
         index: CliqueIndex,
+        executor: Executor,
     ) -> dict[int, list[dict[int, int]]]:
         """Distinct core embeddings per machine (keyed by anchor owner)."""
         graph = cluster.graph
@@ -244,37 +367,17 @@ class CrystalEngine(EnumerationEngine):
             key=lambda u: sub_pattern.degree(u),
         )
         order = compute_matching_order(sub_pattern, start=core_start)
-        for t in range(cluster.num_machines):
-            local = partition.machine(t)
-            machine = cluster.machine(t)
-            stats = EnumerationStats()
-            enumerator = BacktrackingEnumerator(
-                pattern=sub_pattern,
-                adjacency=graph.neighbors,
-                constraints=sub_constraints,
-                order=order,
-                stats=stats,
-            )
-            start_degree = sub_pattern.degree(core_start)
-            starts = [
-                int(v)
-                for v in local.owned_vertices
-                if local.degree(int(v)) >= start_degree
-            ]
-            seen: set[tuple[int, ...]] = set()
-            found: list[dict[int, int]] = []
-            for emb in enumerator.run(starts):
-                key = tuple(emb[remap[u]] for u in core_list)
-                if key in seen:
-                    continue
-                seen.add(key)
-                found.append(dict(zip(core_list, key)))
-            machine.charge_ops(stats.total_ops, "core_ops")
-            machine.allocate(len(found) * len(core_list) * 8, "core_bytes")
-            # Reading adjacency beyond owned vertices is an index/HDFS scan.
-            machine.advance(
-                model.disk_time(stats.candidates_scanned * 8)
-            )
+        for t, found in executor.run_tasks(
+            cluster,
+            _core_general_task,
+            [
+                (
+                    t, sub_pattern, sub_constraints, order, core_list,
+                    remap, sub_pattern.degree(core_start),
+                )
+                for t in range(cluster.num_machines)
+            ],
+        ):
             per_machine[t] = found
         return per_machine
 
@@ -285,9 +388,9 @@ class CrystalEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
         graph = cluster.graph
-        model = cluster.cost_model
         index = self._index
         if index is None or index.graph is not graph:
             index = CliqueIndex(
@@ -296,7 +399,7 @@ class CrystalEngine(EnumerationEngine):
         checker = ConstraintChecker(pattern, constraints)
         core, buds = choose_core(pattern)
         core_embs = self._core_embeddings(
-            cluster, pattern, core, checker, index
+            cluster, pattern, core, checker, index, executor
         )
         cluster.barrier()
 
@@ -317,75 +420,22 @@ class CrystalEngine(EnumerationEngine):
         all_pairs = checker.pairs(tuple(range(pattern.num_vertices)))
         results: list[tuple[int, ...]] = []
         count = 0
-        for t in range(cluster.num_machines):
-            machine = cluster.machine(t)
-            ops = 0
-            disk_bytes = 0
-            cand_bytes = 0
-            for core_emb in core_embs[t]:
-                bud_cands: list[np.ndarray] = []
-                dead = False
-                for u in bud_order:
-                    att = attachment(u)
-                    arrays = sorted(
-                        (graph.neighbors(core_emb[w]) for w in att), key=len
-                    )
-                    cands = arrays[0]
-                    for arr in arrays[1:]:
-                        cands = np.intersect1d(cands, arr, assume_unique=True)
-                    if is_clique_attachment(u):
-                        # Index lookup: pay only for streaming the entry.
-                        disk_bytes += (len(cands) + len(att)) * 8
-                        ops += len(cands) // 8 + 1
-                    else:
-                        ops += sum(len(a) for a in arrays)
-                    degree_u = pattern.degree(u)
-                    cands = cands[
-                        np.fromiter(
-                            (graph.degree(int(v)) >= degree_u for v in cands),
-                            dtype=bool,
-                            count=len(cands),
-                        )
-                    ] if len(cands) else cands
-                    if len(cands) == 0:
-                        dead = True
-                        break
-                    bud_cands.append(cands)
-                    cand_bytes += len(cands) * 8
-                if dead:
-                    continue
-                # Combine buds (decompression): injectivity + constraints.
-                base = [0] * pattern.num_vertices
-                for u, v in core_emb.items():
-                    base[u] = v
-                core_values = set(core_emb.values())
-
-                def combine(idx: int) -> None:
-                    nonlocal count, ops
-                    if idx == len(bud_order):
-                        tup = tuple(base)
-                        if checker.ok_tuple(tup, all_pairs):
-                            count += 1
-                            if collect:
-                                results.append(tup)
-                        return
-                    u = bud_order[idx]
-                    for v in bud_cands[idx]:
-                        v = int(v)
-                        ops += 1
-                        if v in core_values:
-                            continue
-                        if any(base[w] == v for w in bud_order[:idx]):
-                            continue
-                        base[u] = v
-                        combine(idx + 1)
-                    base[u] = 0
-
-                combine(0)
-            machine.charge_ops(ops, "crystal_ops")
-            machine.advance(model.disk_time(disk_bytes))
-            machine.allocate(cand_bytes, "candidate_bytes")
-            machine.free(cand_bytes)
+        for t, machine_count, found in executor.run_tasks(
+            cluster,
+            _bud_combine_task,
+            [
+                (
+                    t, core_embs[t], bud_order,
+                    [attachment(u) for u in bud_order],
+                    [is_clique_attachment(u) for u in bud_order],
+                    [pattern.degree(u) for u in bud_order],
+                    all_pairs, pattern.num_vertices, collect,
+                )
+                for t in range(cluster.num_machines)
+            ],
+        ):
+            count += machine_count
+            results.extend(found)
         # One MapReduce round shuffles the compressed representation when
         # assembling final output (core embeddings + candidate sets).
         payload = np.zeros(

@@ -16,11 +16,71 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.query.pattern import Pattern
 from repro.query.symmetry import constraint_map
+from repro.runtime.executor import Executor, SerialExecutor
 
 #: Allocation granularity while materialising tuples: memory is claimed in
 #: chunks so an over-capacity run fails fast instead of materialising
 #: everything first.
 ALLOC_CHUNK = 4096
+
+
+def _instances_task(cluster: Cluster, args: tuple) -> list[tuple[int, ...]]:
+    """Generate one machine's instances of one unit (independent task)."""
+    t, unit, pattern, constraints = args
+    runner = DistributedJoinRunner(cluster, pattern, constraints)
+    if unit.kind == "clique" and len(unit.vertices) > 2:
+        return runner.clique_instances(t, unit)
+    return runner.star_instances(t, unit)
+
+
+def _join_reduce_task(cluster: Cluster, args: tuple) -> list[tuple[int, ...]]:
+    """Local hash join at one reducer (independent task)."""
+    (
+        t, lefts_by_key, rights_by_key, left_width, right_width,
+        new_right, right_pos, out_pairs, out_width,
+    ) = args
+    model = cluster.cost_model
+    machine = cluster.machine(t)
+    out_bytes = model.embedding_bytes(out_width)
+    joined: list[tuple[int, ...]] = []
+    ops = 0
+    allocated = 0
+    for key, lefts in lefts_by_key.items():
+        rights = rights_by_key.get(key)
+        if not rights:
+            continue
+        for ltup in lefts:
+            lset = set(ltup)
+            for rtup in rights:
+                ops += 1
+                extension: list[int] = []
+                ok = True
+                for u in new_right:
+                    value = rtup[right_pos[u]]
+                    if value in lset or value in extension:
+                        ok = False
+                        break
+                    extension.append(value)
+                if not ok:
+                    continue
+                candidate = ltup + tuple(extension)
+                if not ConstraintChecker.ok_tuple(candidate, out_pairs):
+                    continue
+                joined.append(candidate)
+                if len(joined) - allocated >= ALLOC_CHUNK:
+                    machine.allocate(ALLOC_CHUNK * out_bytes, "joined_bytes")
+                    allocated += ALLOC_CHUNK
+    machine.allocate((len(joined) - allocated) * out_bytes, "joined_bytes")
+    machine.charge_ops(ops, "join_ops")
+    # Inputs grouped at this reducer are released after the join.
+    grouped = (
+        sum(len(v) for v in lefts_by_key.values())
+        * model.embedding_bytes(left_width)
+        + sum(len(v) for v in rights_by_key.values())
+        * model.embedding_bytes(right_width)
+    )
+    machine.free(grouped)
+    return joined
 
 
 @dataclass
@@ -77,10 +137,13 @@ class DistributedJoinRunner:
         cluster: Cluster,
         pattern: Pattern,
         constraints: list[tuple[int, int]],
+        executor: Executor | None = None,
     ):
         self.cluster = cluster
         self.pattern = pattern
         self.checker = ConstraintChecker(pattern, constraints)
+        self.executor = executor or SerialExecutor()
+        self._constraints = constraints
         self._model = cluster.cost_model
 
     # ------------------------------------------------------------------
@@ -290,53 +353,22 @@ class DistributedJoinRunner:
             cluster.machine(t).allocate(incoming, "grouped_bytes")
         cluster.network.shuffle(cluster.machines, payload)
 
-        # Reduce phase: local hash join with injectivity + constraints.
-        out_bytes = model.embedding_bytes(len(out_vertices))
+        # Reduce phase: local hash join with injectivity + constraints —
+        # one independent task per reducer.
         out_pairs = self.checker.pairs(out_vertices)
-        result: dict[int, list[tuple[int, ...]]] = {}
-        for t in range(num_machines):
-            machine = cluster.machine(t)
-            joined: list[tuple[int, ...]] = []
-            ops = 0
-            allocated = 0
-            for key, lefts in shuffled_left[t].items():
-                rights = shuffled_right[t].get(key)
-                if not rights:
-                    continue
-                for ltup in lefts:
-                    lset = set(ltup)
-                    for rtup in rights:
-                        ops += 1
-                        extension = []
-                        ok = True
-                        for u in new_right:
-                            value = rtup[right_pos[u]]
-                            if value in lset or value in extension:
-                                ok = False
-                                break
-                            extension.append(value)
-                        if not ok:
-                            continue
-                        candidate = ltup + tuple(extension)
-                        if not self.checker.ok_tuple(candidate, out_pairs):
-                            continue
-                        joined.append(candidate)
-                        if len(joined) - allocated >= ALLOC_CHUNK:
-                            machine.allocate(
-                                ALLOC_CHUNK * out_bytes, "joined_bytes"
-                            )
-                            allocated += ALLOC_CHUNK
-            machine.allocate((len(joined) - allocated) * out_bytes, "joined_bytes")
-            machine.charge_ops(ops, "join_ops")
-            # Inputs grouped at this reducer are released after the join.
-            grouped = (
-                sum(len(v) for v in shuffled_left[t].values())
-                * model.embedding_bytes(len(left_vertices))
-                + sum(len(v) for v in shuffled_right[t].values())
-                * model.embedding_bytes(len(right_vertices))
-            )
-            machine.free(grouped)
-            result[t] = joined
+        reduced = self.executor.run_tasks(
+            cluster,
+            _join_reduce_task,
+            [
+                (
+                    t, dict(shuffled_left[t]), dict(shuffled_right[t]),
+                    len(left_vertices), len(right_vertices),
+                    new_right, right_pos, out_pairs, len(out_vertices),
+                )
+                for t in range(num_machines)
+            ],
+        )
+        result = dict(enumerate(reduced))
         cluster.barrier()
         return result, out_vertices
 
@@ -351,12 +383,18 @@ class DistributedJoinRunner:
         num_machines = cluster.num_machines
 
         def instances_of(unit: JoinUnit) -> dict[int, list[tuple[int, ...]]]:
-            per_machine = {}
-            for t in range(num_machines):
-                if unit.kind == "clique" and len(unit.vertices) > 2:
-                    per_machine[t] = self.clique_instances(t, unit)
-                else:
-                    per_machine[t] = self.star_instances(t, unit)
+            per_machine = dict(
+                enumerate(
+                    self.executor.run_tasks(
+                        cluster,
+                        _instances_task,
+                        [
+                            (t, unit, self.pattern, self._constraints)
+                            for t in range(num_machines)
+                        ],
+                    )
+                )
+            )
             cluster.barrier()
             return per_machine
 

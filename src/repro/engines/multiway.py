@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.engines.base import EnumerationEngine
+from repro.runtime.executor import Executor
 from repro.enumeration.backtracking import compute_matching_order
 from repro.query.pattern import Pattern
 from repro.query.symmetry import constraint_map
@@ -125,6 +126,7 @@ class MultiwayJoinEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
         num_machines = cluster.num_machines
         shares = self._fixed_shares or compute_shares(pattern, num_machines)

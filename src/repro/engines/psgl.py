@@ -7,6 +7,10 @@ partials are routed onward to the machine owning the next expansion anchor.
 Faithful to the paper's characterisation (Sec. 8): no joins, but partial
 matches are shuffled at every step, results are stored uncompressed, and
 there is no memory control.
+
+Each superstep's expansion and verification loops are independent
+per-machine units of work submitted through the execution backend; the
+shuffles between them stay on the coordinating thread.
 """
 
 from __future__ import annotations
@@ -20,6 +24,84 @@ from repro.engines.base import EnumerationEngine
 from repro.enumeration.backtracking import compute_matching_order
 from repro.query.pattern import Pattern
 from repro.query.symmetry import constraint_map
+from repro.runtime.executor import Executor
+
+
+def _expand_task(cluster: Cluster, args: tuple) -> tuple:
+    """Superstep expansion at one anchor owner (independent task)."""
+    t, partials_t, q, anchor = args
+    graph = cluster.graph
+    partition = cluster.partition
+    model = cluster.cost_model
+    machine = cluster.machine(t)
+    tuple_bytes = model.embedding_bytes(q + 1)
+    msgs: dict[int, list[tuple[tuple[int, ...], int]]] = defaultdict(list)
+    row = np.zeros(cluster.num_machines, dtype=np.int64)
+    ops = 0
+    for partial in partials_t:
+        anchor_value = partial[anchor]
+        for v in graph.neighbors(anchor_value):
+            v = int(v)
+            ops += 1
+            if v in partial:
+                continue
+            # No further pruning at the source: PSgL ships the raw
+            # candidate expansion and verifies at the owner of the
+            # candidate vertex (this lack of compression or early
+            # filtering is exactly what the paper blames for PSgL's
+            # traffic, Exp-2).
+            dst = partition.owner_of(v)
+            msgs[dst].append((partial, v))
+            row[dst] += tuple_bytes
+    machine.charge_ops(ops, "expand_ops")
+    machine.free(len(partials_t) * model.embedding_bytes(q))
+    return t, dict(msgs), row
+
+
+def _verify_task(cluster: Cluster, args: tuple) -> tuple:
+    """Superstep verification at one candidate owner (independent task)."""
+    (
+        t, msgs_t, q, n, min_degree, check_backs,
+        lower_positions, upper_positions, anchor_next,
+    ) = args
+    graph = cluster.graph
+    partition = cluster.partition
+    model = cluster.cost_model
+    machine = cluster.machine(t)
+    tuple_bytes = model.embedding_bytes(q + 1)
+    nxt: dict[int, list[tuple[int, ...]]] = defaultdict(list)
+    row = np.zeros(cluster.num_machines, dtype=np.int64)
+    ops = 0
+    for partial, v in msgs_t:
+        ops += 1
+        adjacency = graph.neighbors(v)
+        if len(adjacency) < min_degree:
+            continue
+        if any(partial[p] >= v for p in lower_positions):
+            continue
+        if any(partial[p] <= v for p in upper_positions):
+            continue
+        ok = True
+        for back in check_backs:
+            w = partial[back]
+            idx = int(np.searchsorted(adjacency, w))
+            ops += 1
+            if idx >= len(adjacency) or int(adjacency[idx]) != w:
+                ok = False
+                break
+        if not ok:
+            continue
+        extended = partial + (v,)
+        if q + 1 < n:
+            dst = partition.owner_of(extended[anchor_next])
+            nxt[dst].append(extended)
+            if dst != t:
+                row[dst] += tuple_bytes
+        else:
+            nxt[t].append(extended)
+    machine.charge_ops(ops, "verify_ops")
+    machine.free(len(msgs_t) * tuple_bytes)
+    return t, dict(nxt), row
 
 
 class PSgLEngine(EnumerationEngine):
@@ -33,10 +115,9 @@ class PSgLEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
-        graph = cluster.graph
         partition = cluster.partition
-        model = cluster.cost_model
         num_machines = cluster.num_machines
         order = compute_matching_order(pattern)
         position = {u: q for q, u in enumerate(order)}
@@ -52,18 +133,6 @@ class PSgLEngine(EnumerationEngine):
             backs = [position[w] for w in pattern.adj(u) if position[w] < q]
             backward[q] = sorted(backs)
             anchors[q] = max(backs)
-
-        def bounds_ok(q: int, v: int, partial: tuple[int, ...]) -> bool:
-            u = order[q]
-            for w in greater[u]:
-                pw = position[w]
-                if pw < q and partial[pw] >= v:
-                    return False
-            for w in smaller[u]:
-                pw = position[w]
-                if pw < q and partial[pw] <= v:
-                    return False
-            return True
 
         # Superstep 0: seed partials at the owners of candidate vertices.
         start_degree = pattern.degree(order[0])
@@ -83,33 +152,25 @@ class PSgLEngine(EnumerationEngine):
             # which for seeds is the seed vertex itself.
             partials[t] = seeds
 
+        model = cluster.cost_model
         for q in range(1, n):
             tuple_bytes = model.embedding_bytes(q + 1)
             candidate_msgs: dict[int, list[tuple[tuple[int, ...], int]]] = (
                 defaultdict(list)
             )
             shuffle_bytes = np.zeros((num_machines, num_machines), dtype=np.int64)
-            # Expansion at the anchor owner.
-            for t in range(num_machines):
-                machine = cluster.machine(t)
-                ops = 0
-                for partial in partials[t]:
-                    anchor_value = partial[anchors[q]]
-                    for v in graph.neighbors(anchor_value):
-                        v = int(v)
-                        ops += 1
-                        if v in partial:
-                            continue
-                        # No further pruning at the source: PSgL ships the
-                        # raw candidate expansion and verifies at the owner
-                        # of the candidate vertex (this lack of compression
-                        # or early filtering is exactly what the paper
-                        # blames for PSgL's traffic, Exp-2).
-                        dst = partition.owner_of(v)
-                        candidate_msgs[dst].append((partial, v))
-                        shuffle_bytes[t, dst] += tuple_bytes
-                machine.charge_ops(ops, "expand_ops")
-                machine.free(len(partials[t]) * model.embedding_bytes(q))
+            # Expansion at the anchor owners.
+            for t, msgs, row in executor.run_tasks(
+                cluster,
+                _expand_task,
+                [
+                    (t, partials[t], q, anchors[q])
+                    for t in range(num_machines)
+                ],
+            ):
+                for dst, items in msgs.items():
+                    candidate_msgs[dst].extend(items)
+                shuffle_bytes[t, :] = row
             # Receivers must hold the incoming candidate volume in memory
             # before verification (this is PSgL's memory Achilles heel).
             for t in range(num_machines):
@@ -117,43 +178,26 @@ class PSgLEngine(EnumerationEngine):
                     len(candidate_msgs[t]) * tuple_bytes, "partials_bytes"
                 )
             cluster.network.shuffle(cluster.machines, shuffle_bytes)
-            # Verification at the candidate owner, then routing onward.
+            # Verification at the candidate owners, then routing onward.
+            u = order[q]
+            verify_args = [
+                (
+                    t, candidate_msgs[t], q, n, pattern.degree(u),
+                    [b for b in backward[q] if b != anchors[q]],
+                    [position[w] for w in greater[u] if position[w] < q],
+                    [position[w] for w in smaller[u] if position[w] < q],
+                    anchors[q + 1] if q + 1 < n else None,
+                )
+                for t in range(num_machines)
+            ]
             next_partials: dict[int, list[tuple[int, ...]]] = defaultdict(list)
             forward_bytes = np.zeros((num_machines, num_machines), dtype=np.int64)
-            for t in range(num_machines):
-                machine = cluster.machine(t)
-                ops = 0
-                survivors = 0
-                for partial, v in candidate_msgs[t]:
-                    ops += 1
-                    adjacency = graph.neighbors(v)
-                    if len(adjacency) < pattern.degree(order[q]):
-                        continue
-                    if not bounds_ok(q, v, partial):
-                        continue
-                    ok = True
-                    for back in backward[q]:
-                        if back == anchors[q]:
-                            continue
-                        w = partial[back]
-                        idx = int(np.searchsorted(adjacency, w))
-                        ops += 1
-                        if idx >= len(adjacency) or int(adjacency[idx]) != w:
-                            ok = False
-                            break
-                    if not ok:
-                        continue
-                    extended = partial + (v,)
-                    survivors += 1
-                    if q + 1 < n:
-                        dst = partition.owner_of(extended[anchors[q + 1]])
-                        next_partials[dst].append(extended)
-                        if dst != t:
-                            forward_bytes[t, dst] += model.embedding_bytes(q + 1)
-                    else:
-                        next_partials[t].append(extended)
-                machine.charge_ops(ops, "verify_ops")
-                machine.free(len(candidate_msgs[t]) * tuple_bytes)
+            for t, nxt, row in executor.run_tasks(
+                cluster, _verify_task, verify_args
+            ):
+                for dst, items in nxt.items():
+                    next_partials[dst].extend(items)
+                forward_bytes[t, :] = row
             for t in range(num_machines):
                 cluster.machine(t).allocate(
                     len(next_partials[t]) * model.embedding_bytes(q + 1),

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.engines.base import EnumerationEngine
+from repro.runtime.executor import Executor
 from repro.enumeration.backtracking import EnumerationStats
 from repro.enumeration.vf2 import VF2Enumerator
 from repro.query.pattern import Pattern
@@ -121,6 +122,7 @@ class ReplicationEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
         hops = (
             self._hop_override

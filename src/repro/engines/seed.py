@@ -18,6 +18,7 @@ from itertools import combinations
 from repro.cluster.cluster import Cluster
 from repro.engines.base import EnumerationEngine
 from repro.engines.join_common import DistributedJoinRunner, JoinUnit
+from repro.runtime.executor import Executor
 from repro.query.pattern import Pattern
 
 
@@ -105,9 +106,10 @@ class SEEDEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
         units = seed_decomposition(pattern)
-        runner = DistributedJoinRunner(cluster, pattern, constraints)
+        runner = DistributedJoinRunner(cluster, pattern, constraints, executor)
         results, count = runner.run_units(units, collect)
         self._count = count
         return results

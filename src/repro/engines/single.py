@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from repro.cluster.cluster import Cluster
 from repro.engines.base import EnumerationEngine
+from repro.runtime.executor import Executor
 from repro.enumeration.backtracking import (
     BacktrackingEnumerator,
     EnumerationStats,
@@ -26,6 +27,7 @@ class SingleMachineEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
         graph = cluster.graph
         stats = EnumerationStats()

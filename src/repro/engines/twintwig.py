@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.cluster.cluster import Cluster
 from repro.engines.base import EnumerationEngine
 from repro.engines.join_common import DistributedJoinRunner, JoinUnit
+from repro.runtime.executor import Executor
 from repro.query.pattern import Pattern
 
 
@@ -143,6 +144,7 @@ class TwinTwigEngine(EnumerationEngine):
         pattern: Pattern,
         constraints: list[tuple[int, int]],
         collect: bool,
+        executor: Executor,
     ) -> list[tuple[int, ...]]:
         if self._cost_oriented:
             units = cost_oriented_decomposition(
@@ -150,7 +152,7 @@ class TwinTwigEngine(EnumerationEngine):
             )
         else:
             units = twintwig_decomposition(pattern)
-        runner = DistributedJoinRunner(cluster, pattern, constraints)
+        runner = DistributedJoinRunner(cluster, pattern, constraints, executor)
         results, count = runner.run_units(units, collect)
         self._count = count
         return results

@@ -1,0 +1,49 @@
+"""Execution backends: serial (default) and shared-memory process pool.
+
+Pick a backend with :func:`get_executor` (``0``/``None`` workers = serial)
+and pass it to :meth:`repro.engines.base.EnumerationEngine.run`, to
+:func:`repro.bench.harness.run_query_grid`, or on the command line via
+``python -m repro enumerate --workers N``.
+"""
+
+from repro.runtime.delta import (
+    ClusterDelta,
+    ClusterState,
+    MachineState,
+    apply_delta,
+    capture_state,
+    compute_delta,
+    restore_state,
+)
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    WorkerCrashError,
+    get_executor,
+)
+from repro.runtime.shared_graph import (
+    SharedArray,
+    SharedArrayHandle,
+    SharedGraph,
+    SharedGraphHandle,
+)
+
+__all__ = [
+    "ClusterDelta",
+    "ClusterState",
+    "Executor",
+    "MachineState",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SharedArray",
+    "SharedArrayHandle",
+    "SharedGraph",
+    "SharedGraphHandle",
+    "WorkerCrashError",
+    "apply_delta",
+    "capture_state",
+    "compute_delta",
+    "get_executor",
+    "restore_state",
+]

@@ -1,0 +1,125 @@
+"""Deterministic capture / merge of simulated-cluster state.
+
+A parallel backend runs each unit of work against a *worker-local* replica
+of the cluster and ships back a :class:`ClusterDelta` — the difference
+between the replica's state after the task and the snapshot it started
+from.  The parent applies deltas **in task-submission order**, so the
+merged clocks, memory peaks, operation counters and network matrices are
+bit-identical regardless of how many workers executed the batch or in
+which order tasks finished.
+
+The merge is exact under the *single-writer* discipline every engine in
+this repository follows: within one batch, at most one task mutates a
+given machine's main clock and memory (cross-machine effects — daemon
+service time and network bytes — are purely additive, so they commute).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """Snapshot of one machine's mutable simulation state."""
+
+    clock: float
+    daemon_clock: float
+    memory_used: int
+    peak_memory: int
+    speed_factor: float
+
+
+@dataclass(frozen=True)
+class ClusterState:
+    """Snapshot of a whole cluster, shipped to workers as the task base."""
+
+    machines: tuple[MachineState, ...]
+
+
+@dataclass
+class ClusterDelta:
+    """State change produced by one task, relative to its base snapshot."""
+
+    clock: list[float]
+    daemon_clock: list[float]
+    memory_used: list[int]
+    # Absolute peak observed by the task's replica (the replica starts
+    # from the base snapshot, so this is directly comparable).
+    peak_memory: list[int]
+    counters: list[Counter]
+    bytes_sent: np.ndarray
+    messages: int
+
+
+def capture_state(cluster: Cluster) -> ClusterState:
+    """Snapshot machine clocks/memory (network deltas use a fresh matrix)."""
+    return ClusterState(
+        machines=tuple(
+            MachineState(
+                clock=m.clock,
+                daemon_clock=m.daemon_clock,
+                memory_used=m.memory_used,
+                peak_memory=m.peak_memory,
+                speed_factor=m.speed_factor,
+            )
+            for m in cluster.machines
+        )
+    )
+
+
+def restore_state(cluster: Cluster, state: ClusterState) -> None:
+    """Reset a worker-local replica to the shipped base snapshot.
+
+    Counters are cleared and the network matrix zeroed so that the end
+    state *is* the delta for those additive quantities.
+    """
+    for machine, base in zip(cluster.machines, state.machines):
+        machine.clock = base.clock
+        machine.daemon_clock = base.daemon_clock
+        machine.memory_used = base.memory_used
+        machine.peak_memory = base.peak_memory
+        machine.speed_factor = base.speed_factor
+        machine.counters.clear()
+    cluster.network.bytes_sent[...] = 0
+    cluster.network.messages = 0
+
+
+def compute_delta(cluster: Cluster, base: ClusterState) -> ClusterDelta:
+    """The replica's state change since :func:`restore_state`."""
+    return ClusterDelta(
+        clock=[
+            m.clock - b.clock
+            for m, b in zip(cluster.machines, base.machines)
+        ],
+        daemon_clock=[
+            m.daemon_clock - b.daemon_clock
+            for m, b in zip(cluster.machines, base.machines)
+        ],
+        memory_used=[
+            m.memory_used - b.memory_used
+            for m, b in zip(cluster.machines, base.machines)
+        ],
+        peak_memory=[m.peak_memory for m in cluster.machines],
+        counters=[Counter(m.counters) for m in cluster.machines],
+        bytes_sent=cluster.network.bytes_sent.copy(),
+        messages=cluster.network.messages,
+    )
+
+
+def apply_delta(cluster: Cluster, delta: ClusterDelta) -> None:
+    """Merge one task's delta into the parent cluster (in task order)."""
+    for t, machine in enumerate(cluster.machines):
+        machine.clock += delta.clock[t]
+        machine.daemon_clock += delta.daemon_clock[t]
+        machine.memory_used = max(0, machine.memory_used + delta.memory_used[t])
+        machine.peak_memory = max(machine.peak_memory, delta.peak_memory[t])
+        if delta.counters[t]:
+            machine.counters.update(delta.counters[t])
+    cluster.network.bytes_sent += delta.bytes_sent
+    cluster.network.messages += delta.messages

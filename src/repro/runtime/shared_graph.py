@@ -1,0 +1,110 @@
+"""Zero-copy graph sharing across worker processes.
+
+The immutable CSR arrays of a :class:`~repro.graph.graph.Graph` (``indptr``
+and ``indices``) are published once into POSIX shared memory; worker
+processes *attach* to the segments by name and rebuild the graph around
+zero-copy numpy views.  This is what makes the process-pool execution
+backend viable: the data graph — by far the largest object an engine
+touches — is never pickled per task.
+
+The same mechanism shares the partition ownership map (one int64 per
+vertex), so the per-task payload shrinks to the task arguments themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable reference to one array living in shared memory."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def attach(self) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+        """Map the segment; caller must keep the returned block alive.
+
+        Attaching re-registers the name with the resource tracker, which
+        is harmless here: pool workers — fork- and spawn-started alike —
+        inherit the owner's tracker, where registrations form a set, so
+        the duplicate is a no-op and the tracker keeps exactly one entry
+        until the owner unlinks (or, after a crash, cleans the segment up
+        at tracker exit).
+        """
+        shm = shared_memory.SharedMemory(name=self.name, create=False)
+        array = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+        array.flags.writeable = False
+        return array, shm
+
+
+class SharedArray:
+    """Owner side of one shared-memory array (create, copy in, unlink)."""
+
+    def __init__(self, array: np.ndarray):
+        array = np.ascontiguousarray(array)
+        # Zero-length segments are rejected by the OS; keep one spare byte.
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf)
+        view[...] = array
+        self.handle = SharedArrayHandle(
+            name=self._shm.name, shape=tuple(array.shape), dtype=array.dtype.str
+        )
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable reference to a CSR graph living in shared memory."""
+
+    indptr: SharedArrayHandle
+    indices: SharedArrayHandle
+
+    def attach(self) -> tuple[Graph, list[shared_memory.SharedMemory]]:
+        """Rebuild the graph from shared memory (zero copy).
+
+        Returns the graph plus the shared-memory blocks backing it; the
+        caller must keep the blocks referenced for the graph's lifetime.
+        """
+        indptr, shm_a = self.indptr.attach()
+        indices, shm_b = self.indices.attach()
+        return Graph(indptr, indices), [shm_a, shm_b]
+
+
+class SharedGraph:
+    """Owner side of a shared CSR graph.
+
+    Create in the parent, pass :attr:`handle` to workers, and :meth:`close`
+    when the executor shuts down.
+    """
+
+    def __init__(self, graph: Graph):
+        self._indptr = SharedArray(graph.indptr)
+        self._indices = SharedArray(graph.indices)
+        self.handle = SharedGraphHandle(
+            indptr=self._indptr.handle, indices=self._indices.handle
+        )
+
+    def close(self) -> None:
+        """Unlink both segments (idempotent)."""
+        self._indptr.close()
+        self._indices.close()

@@ -49,8 +49,10 @@ class TestExperimentHelpers:
         class BrokenEngine(RADSEngine):
             name = "Broken"
 
-            def run(self, cluster, pattern, collect_embeddings=True):
-                result = super().run(cluster, pattern, collect_embeddings)
+            def run(self, cluster, pattern, collect_embeddings=True, **kwargs):
+                result = super().run(
+                    cluster, pattern, collect_embeddings, **kwargs
+                )
                 result.embedding_count += 1
                 return result
 
@@ -73,7 +75,7 @@ class TestScalabilityConsistency:
 
             name = "Flaky"
 
-            def run(self, cluster, pattern, collect_embeddings=True):
+            def run(self, cluster, pattern, collect_embeddings=True, **kwargs):
                 from repro.engines.base import RunResult
 
                 if cluster.num_machines == 3:
@@ -83,7 +85,9 @@ class TestScalabilityConsistency:
                         total_comm_bytes=0, peak_memory=0,
                         per_machine_time=[], failed=True, failure="OOM",
                     )
-                return super().run(cluster, pattern, collect_embeddings)
+                return super().run(
+                    cluster, pattern, collect_embeddings, **kwargs
+                )
 
         ratios = X.exp_scalability(
             "dblp", machine_counts=(3, 6), queries=("q1",),
