@@ -6,40 +6,41 @@ finishes, thanks to region groups (Sec. 6): RADS splits the start
 candidates into proximity groups sized to the budget and processes them
 sequentially, trading peak memory for extra rounds.
 
-This script sweeps the simulated memory cap downwards and reports, for each
-engine, whether it survives and what its peak usage was.
+This script sweeps the simulated memory cap downwards with one
+`repro.api` session per cap (``memory_mb`` is a RunConfig knob) and
+reports, for each engine, whether it survives and what its peak usage was.
 
 Run:  python examples/memory_robustness.py
 """
 
+import repro
 from repro.bench.datasets import uk2002_like
-from repro.bench.harness import make_cluster
-from repro.engines import all_engines
-from repro.query import paper_query
+
+#: Per-machine caps in MiB; None = unlimited.
+CAPS = [None, 32, 4, 1]
 
 
 def main() -> None:
     graph = uk2002_like(scale=0.2)
-    pattern = paper_query("q6")  # triangle-free: no Crystal index shortcut
-    print(f"graph: {graph}; query: {pattern.name}\n")
+    pattern = "q6"  # triangle-free: no Crystal index shortcut
+    print(f"graph: {graph}; query: {pattern}\n")
 
-    caps = [None, 32 * 1024 * 1024, 4 * 1024 * 1024, 1024 * 1024]
-    engines = all_engines()
-    header = f"{'cap':>10}" + "".join(f"{name:>14}" for name in engines)
+    session = repro.open(graph).query(pattern)
+    engine_names = [
+        spec.name for spec in session.registry.specs(paper=True)
+    ]
+    header = f"{'cap':>10}" + "".join(f"{name:>14}" for name in engine_names)
     print(header)
-    for cap in caps:
+    for cap in CAPS:
+        session.with_cluster(machines=4, memory_mb=cap)
         cells = []
-        for name, engine_cls in engines.items():
-            cluster = make_cluster(graph, num_machines=4,
-                                   memory_capacity=cap)
-            result = engine_cls().run(
-                cluster, pattern, collect_embeddings=False
-            )
+        for name in engine_names:
+            result = session.engine(name).run()
             if result.failed:
                 cells.append(f"{'OOM':>14}")
             else:
                 cells.append(f"{result.peak_memory / 1e6:>11.2f} MB")
-        label = "unlimited" if cap is None else f"{cap // (1024 * 1024)} MB"
+        label = "unlimited" if cap is None else f"{cap} MB"
         print(f"{label:>10}" + "".join(cells))
 
     print(

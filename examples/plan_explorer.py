@@ -9,9 +9,8 @@ choice (the paper's Fig. 13 in miniature).
 Run:  python examples/plan_explorer.py
 """
 
+import repro
 from repro.bench.datasets import dblp_like
-from repro.bench.harness import make_cluster
-from repro.engines import RADSEngine
 from repro.query import (
     best_execution_plan,
     enumerate_execution_plans,
@@ -46,19 +45,15 @@ def main() -> None:
     print(f"\nmatching order (Def. 10): {best.matching_order()}")
 
     # Measure the impact (Fig. 13 in miniature): optimized vs random-star.
+    # RADS's plan provider is declarative factory configuration now.
     graph = dblp_like(scale=0.4)
-    cluster = make_cluster(graph, num_machines=4)
+    session = repro.open(graph).with_cluster(machines=4).query(pattern)
     for label, provider in [
         ("optimized", None),
         ("RanS", lambda p: random_star_plan(p, seed=1)),
     ]:
-        engine = (
-            RADSEngine() if provider is None
-            else RADSEngine(plan_provider=provider)
-        )
-        result = engine.run(
-            cluster.fresh_copy(), pattern, collect_embeddings=False
-        )
+        kwargs = {} if provider is None else {"plan_provider": provider}
+        result = session.engine("rads", **kwargs).run()
         print(
             f"{label:>10}: time {result.makespan:.4f}s  "
             f"comm {result.comm_mb:.3f} MB  "

@@ -1,47 +1,46 @@
 #!/usr/bin/env python
 """Quickstart: enumerate a pattern on a simulated cluster with RADS.
 
-Builds a small social-style graph, partitions it over 4 simulated machines,
-and counts embeddings of the paper's q4 ("house") query — comparing RADS
-against the single-machine oracle.
+Builds a small social-style graph, opens a :mod:`repro.api` session over
+it, and counts embeddings of the paper's q4 ("house") query — comparing
+RADS against the single-machine oracle.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.bench.harness import make_cluster
-from repro.engines import RADSEngine, SingleMachineEngine
+import repro
 from repro.graph import powerlaw_cluster
-from repro.query import paper_query
 
 
 def main() -> None:
-    # 1. A data graph (any Graph works; see repro.graph.generators and
-    #    repro.graph.io for loaders).
+    # 1. A data graph (any Graph works; repro.open also takes a file path —
+    #    see repro.graph.generators and repro.graph.io).
     graph = powerlaw_cluster(800, edges_per_vertex=4, seed=42)
     print(f"data graph: {graph}")
 
-    # 2. The query pattern (q1..q8 / cq1..cq4 from the paper, or build your
-    #    own with repro.query.Pattern).
-    pattern = paper_query("q4")
-    print(f"query: {pattern}")
+    # 2. A session: graph + simulated cluster (METIS-like partition over
+    #    4 machines) + engine + query, composed fluently.
+    session = repro.open(graph).with_cluster(machines=4)
 
-    # 3. A simulated cluster: METIS-like partition over 4 machines.
-    cluster = make_cluster(graph, num_machines=4)
-
-    # 4. Enumerate with RADS.
-    engine = RADSEngine()
-    result = engine.run(cluster, pattern)
+    # 3. Enumerate with RADS (any registry name/alias works: "rads",
+    #    "crystal", "wcoj", ... — see repro.default_registry().describe()).
+    result = session.engine("rads").query("q4").run(collect=True)
     print(result.summary())
-    print(f"execution plan rounds: {engine.last_plan.num_rounds}")
     print(f"embeddings found: {result.embedding_count}")
     print(f"simulated makespan: {result.makespan:.4f}s")
     print(f"network traffic: {result.comm_mb:.3f} MB")
     print(f"peak simulated memory: {result.peak_memory / 1e6:.2f} MB")
 
-    # 5. Cross-check against the single-machine oracle.
-    oracle = SingleMachineEngine().run(cluster.fresh_copy(), pattern)
+    # 4. Cross-check against the single-machine oracle (same session,
+    #    fresh cluster stats per run).
+    oracle = session.engine("oracle").run(collect=True)
     assert set(result.embeddings) == set(oracle.embeddings)
     print("matches single-machine ground truth: OK")
+
+    # 5. Results serialize: to_dict/from_dict round-trip for archiving.
+    record = result.to_dict()
+    assert repro.RunResult.from_dict(record) == result
+    print(f"serialized record keys: {sorted(record)[:4]} ...")
 
     # A peek at three embeddings (tuples indexed by query vertex id).
     for emb in sorted(result.embeddings)[:3]:

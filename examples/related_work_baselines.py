@@ -10,27 +10,26 @@ on two graphs chosen to flip the replication story.
 Run:  python examples/related_work_baselines.py
 """
 
-from repro.bench.harness import make_cluster
-from repro.core.rads import RADSEngine
+import repro
 from repro.engines import MultiwayJoinEngine, ReplicationEngine
 from repro.graph import grid_road_network, powerlaw_cluster
 from repro.query import paper_query
 
 
 def run_on(graph, label: str) -> None:
-    cluster = make_cluster(graph, num_machines=6)
+    session = repro.open(graph).with_cluster(machines=6)
     print(f"\n=== {label}: {graph} ===")
     for qname in ("q2", "q8"):
         pattern = paper_query(qname)
         print(f"\n  query {qname} ({pattern.num_edges} edges):")
         counts = set()
-        for engine in (
-            RADSEngine(),
-            MultiwayJoinEngine(),
-            ReplicationEngine(),
-        ):
+        session.query(qname)
+        for name in ("RADS", "Multiway", "Replication"):
+            # Keep the instance: the extensions expose run introspection
+            # (last_shares / last_replicated_*) beyond the RunResult.
+            engine = session.engine(name).build_engine()
             result = engine.run(
-                cluster.fresh_copy(), pattern, collect_embeddings=False
+                session.cluster(), pattern, collect_embeddings=False
             )
             counts.add(result.embedding_count)
             extra = ""

@@ -11,9 +11,8 @@ traffic, and contrasts RADS with the shuffle-everything PSgL baseline.
 Run:  python examples/road_network_motifs.py
 """
 
-from repro.bench.harness import make_cluster
+import repro
 from repro.core.sme import SingleMachineSplit
-from repro.engines import PSgLEngine, RADSEngine
 from repro.graph import grid_road_network
 from repro.query import best_execution_plan, paper_query
 from repro.query.symmetry import symmetry_breaking_constraints
@@ -22,7 +21,8 @@ from repro.query.symmetry import symmetry_breaking_constraints
 def main() -> None:
     graph = grid_road_network(50, 50, extra_edge_prob=0.04, seed=7)
     print(f"road network: {graph}")
-    cluster = make_cluster(graph, num_machines=6)
+    session = repro.open(graph).with_cluster(machines=6)
+    cluster = session.cluster()
 
     pattern = paper_query("q1")  # squares: city blocks
     plan = best_execution_plan(pattern)
@@ -45,12 +45,11 @@ def main() -> None:
         )
     print(f"overall SM-E share: {100 * total_local / max(1, total_all):.1f}%")
 
-    for engine in (RADSEngine(), PSgLEngine()):
-        result = engine.run(
-            cluster.fresh_copy(), pattern, collect_embeddings=False
-        )
+    session.query(pattern)
+    for name in ("RADS", "PSgL"):
+        result = session.engine(name).run()
         print(
-            f"\n{engine.name:>5}: {result.embedding_count} squares, "
+            f"\n{result.engine:>5}: {result.embedding_count} squares, "
             f"time {result.makespan:.4f}s, "
             f"comm {result.total_comm_bytes / 1024:.1f} KB"
         )

@@ -5,31 +5,34 @@ On dense, heavy-tailed graphs the paper shows join-based engines (TwinTwig,
 SEED) drowning in intermediate results, PSgL drowning in shuffled partial
 matches, and Crystal staying competitive only on clique-bearing queries.
 This example reproduces the comparison on a scaled-down LiveJournal
-analogue for a triangle query (q2) and a triangle-free one (q1).
+analogue with one `repro.api` session grid over a triangle query (q2) and
+a triangle-free one (q1).
 
 Run:  python examples/social_network_comparison.py
 """
 
+import repro
 from repro.bench.datasets import livejournal_like
-from repro.bench.harness import make_cluster
-from repro.engines import all_engines
-from repro.query import paper_query
 
 
 def main() -> None:
     graph = livejournal_like(scale=0.25)
     print(f"social graph: {graph} "
           f"(avg degree {graph.average_degree():.1f})")
-    cluster = make_cluster(graph, num_machines=6)
 
-    for qname in ("q2", "q1"):
-        pattern = paper_query(qname)
-        print(f"\n=== query {qname} ({pattern.name}) ===")
+    # One grid call: the five paper engines x two queries, every run on a
+    # fresh-stats copy of the same 6-machine partition.
+    grid = (
+        repro.open(graph)
+        .with_cluster(machines=6)
+        .run_grid(queries=["q2", "q1"], dataset_name="mini-livejournal")
+    )
+
+    for qname in grid.queries():
+        print(f"\n=== query {qname} ===")
         counts = set()
-        for name, engine_cls in all_engines().items():
-            result = engine_cls().run(
-                cluster.fresh_copy(), pattern, collect_embeddings=False
-            )
+        for name in grid.engines():
+            result = grid.get(name, qname)
             if result.failed:
                 print(f"  {name:>9}: OOM")
                 continue

@@ -4,45 +4,35 @@
 The paper motivates its asynchronous design with the synchronisation-delay
 argument: synchronous systems run at the pace of the slowest machine.
 This example slows one of six simulated machines down by increasing
-factors and watches each engine's makespan respond.
+factors (the RunConfig ``stragglers`` knob) and watches each engine's
+makespan respond.
 
 Run:  python examples/straggler_tolerance.py
 """
 
-from repro.bench.harness import make_cluster
-from repro.core.rads import RADSEngine
-from repro.engines import SEEDEngine, TwinTwigEngine
+import repro
 from repro.graph import community_graph
-from repro.query import paper_query
 
 SLOWDOWNS = [1, 2, 4, 8, 16]
+ENGINES = ["RADS", "TwinTwig", "SEED"]
 
 
 def main() -> None:
     graph = community_graph(18, 14, intra_prob=0.4, inter_edges=3, seed=11)
-    base = make_cluster(graph, num_machines=6)
-    pattern = paper_query("q4")
-    print(f"data graph: {graph}, query: {pattern.name}")
+    session = repro.open(graph).query("q4")
+    print(f"data graph: {graph}, query: q4")
     print("machine 0 is slowed by the factor in the first column\n")
 
-    engines = {
-        "RADS": RADSEngine,
-        "TwinTwig": TwinTwigEngine,
-        "SEED": SEEDEngine,
-    }
-    header = f"{'slowdown':>9}" + "".join(f"{n:>13}" for n in engines)
+    header = f"{'slowdown':>9}" + "".join(f"{n:>13}" for n in ENGINES)
     print(header)
-    baselines: dict[str, float] = {}
     for slowdown in SLOWDOWNS:
+        session.with_cluster(
+            machines=6,
+            stragglers={0: slowdown} if slowdown > 1 else None,
+        )
         cells = []
-        for name, engine_cls in engines.items():
-            cluster = base.fresh_copy()
-            cluster.set_speed_factor(0, 1.0 / slowdown)
-            result = engine_cls().run(
-                cluster, pattern, collect_embeddings=False
-            )
-            if slowdown == 1:
-                baselines[name] = result.makespan
+        for name in ENGINES:
+            result = session.engine(name).run()
             cells.append(f"{result.makespan * 1e3:>11.3f}ms")
         print(f"{slowdown:>8}x" + "".join(cells))
 

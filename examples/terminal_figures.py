@@ -8,18 +8,17 @@ without leaving the terminal.
 Run:  python examples/terminal_figures.py
 """
 
+import repro
 from repro.bench.datasets import roadnet_like
-from repro.bench.harness import run_query_grid
 from repro.bench.plotting import grouped_bar_chart
-from repro.engines import all_engines
 
 
 def main() -> None:
     graph = roadnet_like(scale=0.25)
-    engines = {name: cls() for name, cls in all_engines().items()}
-    grid = run_query_grid(
-        graph, "mini-roadnet", ["q1", "q2", "q4"],
-        engines=engines, num_machines=4,
+    grid = (
+        repro.open(graph)
+        .with_cluster(machines=4)
+        .run_grid(queries=["q1", "q2", "q4"], dataset_name="mini-roadnet")
     )
     print(grouped_bar_chart(grid, title="time (simulated s)", log=True))
     print()

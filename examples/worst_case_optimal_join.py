@@ -11,28 +11,22 @@ but without shuffling the prefixes at all.
 Run:  python examples/worst_case_optimal_join.py
 """
 
-from repro.bench.harness import make_cluster
-from repro.engines import RADSEngine, TwinTwigEngine
-from repro.engines.bigjoin import BigJoinEngine
+import repro
 from repro.graph import powerlaw_cluster
-from repro.query import paper_query
 
 
 def main() -> None:
     graph = powerlaw_cluster(500, edges_per_vertex=4, seed=11)
     print(f"hub-heavy graph: {graph} "
           f"(max degree {int(graph.degrees().max())})")
-    cluster = make_cluster(graph, num_machines=4)
-    pattern = paper_query("q4")
+    session = repro.open(graph).with_cluster(machines=4).query("q4")
 
     rows = []
-    for engine in (RADSEngine(), BigJoinEngine(), TwinTwigEngine()):
-        result = engine.run(
-            cluster.fresh_copy(), pattern, collect_embeddings=False
-        )
-        rows.append((engine.name, result))
+    for name in ("RADS", "wcoj", "tt"):  # aliases resolve too
+        result = session.engine(name).run()
+        rows.append((result.engine, result))
         print(
-            f"{engine.name:>9}: time {result.makespan:9.4f}s  "
+            f"{result.engine:>9}: time {result.makespan:9.4f}s  "
             f"comm {result.comm_mb:8.3f} MB  "
             f"peak {result.peak_memory / 1e6:8.2f} MB  "
             f"({result.embedding_count} embeddings)"

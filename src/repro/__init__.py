@@ -1,11 +1,26 @@
 """RADS — reproduction of "Fast and Robust Distributed Subgraph
 Enumeration" (Ren, Wang, Han, Yu; VLDB 2019) on a simulated cluster.
 
-Top-level convenience re-exports cover the everyday API::
+The public surface is the :mod:`repro.api` session facade::
+
+    import repro
+
+    result = (
+        repro.open("road.npz")            # or an in-memory Graph
+        .with_cluster(machines=10, memory_mb=512)
+        .engine("rads")                    # any registry name/alias
+        .query("q4")
+        .run()
+    )
+    print(result.summary())
+    record = result.to_dict()              # JSON-safe, from_dict inverts
+
+Engines are resolved through :func:`repro.api.default_registry`; runs are
+configured with :class:`repro.api.RunConfig`; ``Session.run_grid`` sweeps
+engine x query grids.  The lower layers remain importable for direct use::
 
     from repro import Graph, Pattern, Cluster, RADSEngine, paper_query
 
-    graph = ...                       # build or load a data graph
     cluster = Cluster.create(graph, num_machines=10)
     result = RADSEngine().run(cluster, paper_query("q4"))
 
@@ -16,12 +31,27 @@ in their subpackages: :mod:`repro.engines`, :mod:`repro.bench`,
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Lazily resolved re-exports: name -> (module, attribute).  Resolving on
 #: first access keeps ``import repro`` light and the import graph acyclic
 #: (repro.core imports repro.engines.base and vice versa via registries).
 _EXPORTS: dict[str, tuple[str, str]] = {
+    # -- the repro.api facade ------------------------------------------
+    "open": ("repro.api.session", "open_session"),
+    "open_session": ("repro.api.session", "open_session"),
+    "Session": ("repro.api.session", "Session"),
+    "RunConfig": ("repro.api.config", "RunConfig"),
+    "ConfigError": ("repro.api.config", "ConfigError"),
+    "EngineRegistry": ("repro.api.registry", "EngineRegistry"),
+    "EngineSpec": ("repro.api.registry", "EngineSpec"),
+    "register_engine": ("repro.api.registry", "register_engine"),
+    "default_registry": ("repro.api.registry", "default_registry"),
+    "UnknownEngineError": ("repro.api.registry", "UnknownEngineError"),
+    "UnknownQueryError": ("repro.api.session", "UnknownQueryError"),
+    "write_results_jsonl": ("repro.api.results", "write_results_jsonl"),
+    "read_results_jsonl": ("repro.api.results", "read_results_jsonl"),
+    # -- lower layers ---------------------------------------------------
     "Graph": ("repro.graph.graph", "Graph"),
     "GraphBuilder": ("repro.graph.builder", "GraphBuilder"),
     "LabeledGraph": ("repro.graph.labeled", "LabeledGraph"),

@@ -1,0 +1,77 @@
+"""Public API: engine registry, run configuration and the session facade.
+
+This package is the stable surface every entry point (CLI, bench harness,
+examples, future services) is built on::
+
+    import repro
+
+    result = (
+        repro.open("road.npz")
+        .with_cluster(machines=10, memory_mb=512)
+        .engine("rads")
+        .query("q4")
+        .run()
+    )
+    print(result.summary())
+    record = result.to_dict()          # JSON-safe; RunResult.from_dict inverts
+
+Pieces:
+
+- :class:`EngineRegistry` / :func:`register_engine` / :func:`default_registry`
+  — one case-insensitive name/alias -> engine mapping with capability
+  metadata and per-engine factory kwargs (`repro.api.registry`).
+- :class:`RunConfig` — validated cluster + backend + result-mode
+  configuration (`repro.api.config`).
+- :class:`Session` / :func:`open_session` — fluent composition and
+  ``run_grid`` sweeps (`repro.api.session`).
+- JSON/JSONL result serialization (`repro.api.results`).
+"""
+
+from repro.api.config import MIB, ConfigError, PARTITIONER_NAMES, RunConfig
+from repro.api.registry import (
+    EngineRegistry,
+    EngineSpec,
+    UnknownEngineError,
+    default_registry,
+    register_engine,
+)
+from repro.api.results import (
+    grid_results,
+    read_results_jsonl,
+    result_from_json,
+    result_to_json,
+    write_results_jsonl,
+)
+from repro.api.session import (
+    Session,
+    UnknownQueryError,
+    load_graph,
+    open_session,
+    resolve_pattern,
+)
+from repro.api.session import open  # noqa: A004 - the facade's spelling
+from repro.engines.base import RunResult
+
+__all__ = [
+    "ConfigError",
+    "EngineRegistry",
+    "EngineSpec",
+    "MIB",
+    "PARTITIONER_NAMES",
+    "RunConfig",
+    "RunResult",
+    "Session",
+    "UnknownEngineError",
+    "UnknownQueryError",
+    "default_registry",
+    "grid_results",
+    "load_graph",
+    "open",
+    "open_session",
+    "read_results_jsonl",
+    "register_engine",
+    "resolve_pattern",
+    "result_from_json",
+    "result_to_json",
+    "write_results_jsonl",
+]

@@ -1,0 +1,57 @@
+"""Serializable run results: JSON/JSONL round-trips for RunResult.
+
+The dict form lives on :meth:`repro.engines.base.RunResult.to_dict` /
+``from_dict``; this module adds the file-level helpers used by the CLI's
+``--json`` output and by provenance-style tooling that wants to archive
+whole experiment grids as one record per line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.engines.base import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.bench.harness import GridResult
+
+
+def result_to_json(result: RunResult, *, indent: int | None = None) -> str:
+    """One RunResult as a JSON document."""
+    return json.dumps(result.to_dict(), indent=indent, sort_keys=True)
+
+
+def result_from_json(document: str) -> RunResult:
+    """Inverse of :func:`result_to_json`."""
+    return RunResult.from_dict(json.loads(document))
+
+
+def write_results_jsonl(
+    results: Iterable[RunResult], path: str | Path
+) -> int:
+    """Write results to ``path`` as JSON Lines; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(result_to_json(result))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_results_jsonl(path: str | Path) -> list[RunResult]:
+    """Read back a JSONL file written by :func:`write_results_jsonl`."""
+    results = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                results.append(result_from_json(line))
+    return results
+
+
+def grid_results(grid: "GridResult") -> list[RunResult]:
+    """A GridResult's runs flattened in (engine, query) insertion order."""
+    return list(grid.results.values())

@@ -1,0 +1,356 @@
+"""The fluent session facade — the library's front door.
+
+One object composes the five layers (graph IO -> partitioner/cluster ->
+pattern -> engine -> executor) that previously had to be hand-wired::
+
+    import repro
+
+    result = (
+        repro.open("road.npz")
+        .with_cluster(machines=10, memory_mb=512)
+        .engine("rads")
+        .query("q4")
+        .run()
+    )
+    grid = repro.open(graph).run_grid(queries=["q1", "q4"])
+
+A :class:`Session` holds a data graph, a :class:`~repro.api.config.RunConfig`
+and an :class:`~repro.api.registry.EngineRegistry`.  The partitioned base
+cluster and the process pool are built lazily and reused across runs; each
+run executes on a fresh-stats copy of the base cluster, so repeated and
+gridded runs are independent — and stats are bit-identical to constructing
+the cluster and engine by hand.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.api.config import RunConfig
+from repro.api.registry import EngineRegistry, default_registry
+from repro.graph.graph import Graph
+from repro.graph.io import load_adjacency_text, load_binary, load_edge_list
+from repro.query.pattern import Pattern
+from repro.query.patterns import named_patterns
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.bench.harness import GridResult
+    from repro.cluster.cluster import Cluster
+    from repro.engines.base import RunResult
+    from repro.runtime.executor import Executor
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET: Any = object()
+
+
+class UnknownQueryError(KeyError):
+    """A query name no registered pattern matches."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.choices = ", ".join(sorted(named_patterns()))
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        return f"unknown query {self.name!r}; choose from: {self.choices}"
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load a graph, dispatching on the file extension.
+
+    ``.npz`` (binary CSR), ``.edges`` (SNAP edge list) or ``.adj``
+    (adjacency text).  Raises ``ValueError`` for anything else.
+    """
+    path = str(path)
+    if path.endswith(".npz"):
+        return load_binary(path)
+    if path.endswith(".edges"):
+        return load_edge_list(path)
+    if path.endswith(".adj"):
+        return load_adjacency_text(path)
+    raise ValueError(f"unknown graph format: {path} (.npz/.edges/.adj)")
+
+
+def resolve_pattern(query: "str | Pattern") -> Pattern:
+    """A Pattern from a pattern or a (case-insensitive) registered name."""
+    if isinstance(query, Pattern):
+        return query
+    pattern = named_patterns().get(str(query).lower())
+    if pattern is None:
+        raise UnknownQueryError(str(query))
+    return pattern
+
+
+def open_session(
+    source: "Graph | str | Path",
+    *,
+    config: RunConfig | None = None,
+    registry: EngineRegistry | None = None,
+) -> "Session":
+    """Open a session over a Graph instance or a graph file path."""
+    graph = source if isinstance(source, Graph) else load_graph(source)
+    return Session(graph, config=config, registry=registry)
+
+
+#: ``repro.open(...)`` — the facade's documented spelling.
+open = open_session
+
+
+class Session:
+    """Fluent composition of graph + config + engine + query.
+
+    Builder methods return ``self`` so calls chain; ``run()`` executes the
+    currently selected engine/query and returns a
+    :class:`~repro.engines.base.RunResult`.  Use as a context manager (or
+    call :meth:`close`) to release the process pool when ``workers > 0``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: RunConfig | None = None,
+        registry: EngineRegistry | None = None,
+    ):
+        if not isinstance(graph, Graph):
+            raise TypeError(
+                f"Session needs a Graph, got {type(graph).__name__}; "
+                f"use repro.open(path) for files"
+            )
+        self._graph = graph
+        self._config = config or RunConfig()
+        self._registry = registry or default_registry()
+        self._engine_name: str | None = None
+        self._engine_kwargs: dict[str, Any] = {}
+        self._engine = None
+        self._pattern: Pattern | None = None
+        self._query_name: str | None = None
+        self._partition = None
+        self._executor: "Executor | None" = None
+
+    # -- introspection -------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The data graph."""
+        return self._graph
+
+    @property
+    def config(self) -> RunConfig:
+        """The active run configuration."""
+        return self._config
+
+    @property
+    def registry(self) -> EngineRegistry:
+        """The engine registry lookups go through."""
+        return self._registry
+
+    # -- configuration -------------------------------------------------
+    #: RunConfig fields the cached graph partition depends on; memory
+    #: caps, stragglers, cost model and result mode are applied per run,
+    #: so changing them (the common sweep axes) never repartitions.
+    _PARTITION_FIELDS = ("machines", "partitioner", "seed")
+
+    def with_config(self, config: RunConfig) -> "Session":
+        """Swap in a whole RunConfig."""
+        if config != self._config:
+            self._invalidate(
+                partition=any(
+                    getattr(config, name) != getattr(self._config, name)
+                    for name in self._PARTITION_FIELDS
+                ),
+                executor=config.workers != self._config.workers,
+            )
+            self._config = config
+        return self
+
+    def configure(self, **updates: Any) -> "Session":
+        """Update individual RunConfig fields (validated immediately)."""
+        return self.with_config(self._config.replace(**updates))
+
+    def with_cluster(
+        self,
+        *,
+        machines: int = _UNSET,
+        memory_mb: float | None = _UNSET,
+        partitioner: Any = _UNSET,
+        cost_model: Any = _UNSET,
+        stragglers: Mapping[int, float] | None = _UNSET,
+        seed: int = _UNSET,
+    ) -> "Session":
+        """Configure the simulated cluster (named subset of configure)."""
+        updates = {
+            key: value
+            for key, value in (
+                ("machines", machines),
+                ("memory_mb", memory_mb),
+                ("partitioner", partitioner),
+                ("cost_model", cost_model),
+                ("stragglers", stragglers),
+                ("seed", seed),
+            )
+            if value is not _UNSET
+        }
+        return self.configure(**updates)
+
+    def with_workers(self, workers: int) -> "Session":
+        """Select the execution backend (0 = serial)."""
+        return self.configure(workers=workers)
+
+    # -- engine / query selection --------------------------------------
+    def engine(self, name: str, **engine_kwargs: Any) -> "Session":
+        """Select an engine by registry name/alias (any case).
+
+        ``engine_kwargs`` go to the engine's registered factory — e.g.
+        ``session.engine("crystal", index=True)`` builds the clique index
+        from the session graph up front.  The instance is built here and
+        reused across runs, so factory work (like that index) is paid
+        once per selection.
+        """
+        self._engine_name = self._registry.resolve(name).name
+        self._engine_kwargs = dict(engine_kwargs)
+        self._engine = self._registry.create(
+            self._engine_name, graph=self._graph, **self._engine_kwargs
+        )
+        return self
+
+    def query(self, query: "str | Pattern") -> "Session":
+        """Select the pattern (name like "q4"/"triangle", or a Pattern)."""
+        self._pattern = resolve_pattern(query)
+        # Only a registered lookup name is a grid key; a Pattern object is
+        # carried as-is so run_grid works for unregistered patterns too.
+        self._query_name = (
+            None if isinstance(query, Pattern) else str(query).lower()
+        )
+        return self
+
+    # -- execution -----------------------------------------------------
+    def _get_partition(self):
+        if self._partition is None:
+            self._partition = self._config.make_partition(self._graph)
+        return self._partition
+
+    def cluster(self) -> "Cluster":
+        """A fresh-stats cluster over the session's (cached) partition."""
+        return self._config.make_cluster(
+            self._graph, partition=self._get_partition()
+        )
+
+    def build_engine(self):
+        """The selected engine instance (built once at selection time)."""
+        if self._engine is None:
+            raise RuntimeError("no engine selected; call .engine(name) first")
+        return self._engine
+
+    def run(
+        self,
+        *,
+        collect: bool | None = None,
+        limit: int | None = None,
+    ) -> "RunResult":
+        """Run the selected engine on the selected query.
+
+        ``collect``/``limit`` override the config's result mode for this
+        run.  With a limit, collected embeddings are truncated after the
+        (deterministic) run — counts and stats are unaffected.
+        """
+        if self._pattern is None:
+            raise RuntimeError("no query selected; call .query(name) first")
+        engine = self.build_engine()
+        collect = self._config.collect if collect is None else collect
+        limit = self._config.limit if limit is None else limit
+        result = engine.run(
+            self.cluster(),
+            self._pattern,
+            collect_embeddings=collect,
+            executor=self._get_executor(),
+        )
+        if limit is not None and result.embeddings is not None:
+            result.embeddings = result.embeddings[:limit]
+        return result
+
+    def run_grid(
+        self,
+        engines: "list[str] | Mapping[str, Any] | None" = None,
+        queries: "list[str | Pattern] | None" = None,
+        *,
+        dataset_name: str = "session",
+        check_consistency: bool = True,
+        engine_kwargs: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> "GridResult":
+        """Engine x query sweep over the session cluster configuration.
+
+        ``engines`` is a list of registry names (default: the paper's five),
+        or a ready name -> instance mapping; ``queries`` a list of pattern
+        names (default: the currently selected query).
+        """
+        from repro.bench.harness import run_query_grid
+
+        if queries is None:
+            if self._pattern is None:
+                raise RuntimeError(
+                    "no queries given and no query selected"
+                )
+            queries = [
+                self._query_name if self._query_name is not None
+                else self._pattern
+            ]
+        if engines is None or isinstance(engines, (list, tuple)):
+            engines = self._registry.create_all(
+                list(engines) if engines is not None else None,
+                graph=self._graph,
+                engine_kwargs=engine_kwargs,
+                **({} if engines is not None else {"paper": True}),
+            )
+        elif engine_kwargs:
+            raise ValueError(
+                "engine_kwargs only configures registry-built engines; "
+                "it cannot apply to a ready engines mapping"
+            )
+        return run_query_grid(
+            self._graph,
+            dataset_name,
+            list(queries),
+            engines=dict(engines),
+            config=self._config,
+            check_consistency=check_consistency,
+            executor=self._get_executor(),
+            partition=self._get_partition(),
+            collect=self._config.collect,
+            limit=self._config.limit,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def _get_executor(self) -> "Executor":
+        if self._executor is None:
+            self._executor = self._config.make_executor()
+        return self._executor
+
+    def _invalidate(self, *, partition: bool, executor: bool) -> None:
+        if partition:
+            self._partition = None
+        if executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def close(self) -> None:
+        """Release the process pool (idempotent; serial is a no-op)."""
+        self._invalidate(partition=False, executor=True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [
+            f"graph={self._graph!r}",
+            f"machines={self._config.machines}",
+        ]
+        if self._config.memory_mb is not None:
+            parts.append(f"memory_mb={self._config.memory_mb}")
+        if self._engine_name:
+            parts.append(f"engine={self._engine_name!r}")
+        if self._pattern is not None:
+            parts.append(f"query={self._pattern.name!r}")
+        return f"Session({', '.join(parts)})"

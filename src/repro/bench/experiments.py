@@ -9,13 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import default_registry
 from repro.bench.datasets import DATASETS, dataset, dataset_profile
 from repro.bench.harness import GridResult, make_cluster, run_query_grid
 from repro.core.embedding_trie import NODE_BYTES, embedding_list_bytes, trie_nodes_for_results
-from repro.core.rads import RADSEngine
-from repro.engines import CliqueIndex, CrystalEngine, SEEDEngine, all_engines
+from repro.engines import CliqueIndex
 from repro.engines.base import EnumerationEngine
-from repro.engines.single import SingleMachineEngine
 from repro.query import (
     best_execution_plan,
     named_patterns,
@@ -97,12 +96,13 @@ def exp_performance(
     """
     graph = bench_graph(dataset_name)
     if engines is None:
-        engines = {name: cls() for name, cls in all_engines().items()}
-        if "Crystal" in engines:
-            # The index is offline state; build it once per dataset.
-            engines["Crystal"] = CrystalEngine(
-                index=_crystal_index(dataset_name)
-            )
+        # The clique index is offline state, built once per dataset and
+        # handed to Crystal's factory as declarative kwargs.
+        engines = default_registry().create_all(
+            graph=graph,
+            paper=True,
+            engine_kwargs={"Crystal": {"index": _crystal_index(dataset_name)}},
+        )
     return run_query_grid(
         graph,
         dataset_name,
@@ -146,10 +146,11 @@ def exp_scalability(
     """
     graph = dataset(dataset_name, scale)
     if engines is None:
-        engines = {
-            "RADS": RADSEngine(),
-            "Crystal": CrystalEngine(index=CliqueIndex(graph, max_size=4)),
-        }
+        engines = default_registry().create_all(
+            ["RADS", "Crystal"],
+            graph=graph,
+            engine_kwargs={"Crystal": {"index": True}},
+        )
     runs: dict[str, dict[int, dict[str, float]]] = {
         name: {m: {} for m in machine_counts} for name in engines
     }
@@ -214,7 +215,9 @@ def exp_plan_effectiveness(
         ):
             times = []
             for provider in providers:
-                engine = RADSEngine(plan_provider=provider)
+                engine = default_registry().create(
+                    "RADS", plan_provider=provider
+                )
                 result = engine.run(
                     base.fresh_copy(), pattern, collect_embeddings=False
                 )
@@ -237,9 +240,10 @@ def exp_compression(
     cluster = make_cluster(graph, 1)
     patterns = named_patterns()
     rows = []
+    oracle = default_registry().create("Single")
     for qname in queries or PAPER_QUERY_NAMES:
         pattern = patterns[qname]
-        result = SingleMachineEngine().run(cluster.fresh_copy(), pattern)
+        result = oracle.run(cluster.fresh_copy(), pattern)
         plan = best_execution_plan(pattern)
         order = plan.matching_order()
         ordered = [
@@ -266,11 +270,10 @@ def exp_clique_queries(
     dataset_name: str, num_machines: int = 10
 ) -> GridResult:
     """Clique-heavy queries cq1-cq4 (paper Fig. 15)."""
-    engines: dict[str, EnumerationEngine] = {
-        "SEED": SEEDEngine(),
-        "Crystal": CrystalEngine(index=_crystal_index(dataset_name)),
-        "RADS": RADSEngine(),
-    }
+    engines = default_registry().create_all(
+        ["SEED", "Crystal", "RADS"],
+        engine_kwargs={"Crystal": {"index": _crystal_index(dataset_name)}},
+    )
     return run_query_grid(
         bench_graph(dataset_name),
         dataset_name,
@@ -308,13 +311,11 @@ def exp_robustness(
     """
     graph = dataset(dataset_name, scale)
     pattern = named_patterns()[query]
-    from repro.engines import TwinTwigEngine
-
-    engines = {
-        "RADS": RADSEngine(),
-        "Crystal": CrystalEngine(index=CliqueIndex(graph, max_size=4)),
-        "TwinTwig": TwinTwigEngine(),
-    }
+    engines = default_registry().create_all(
+        ["RADS", "Crystal", "TwinTwig"],
+        graph=graph,
+        engine_kwargs={"Crystal": {"index": True}},
+    )
     rows = []
     for cap in caps:
         survived: dict[str, bool] = {}

@@ -3,15 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
-from repro.cluster import Cluster, CostModel
-from repro.engines import all_engines
+from repro.api.config import MIB, RunConfig
+from repro.api.registry import EngineRegistry, default_registry
+from repro.api.session import resolve_pattern
+from repro.cluster import Cluster
 from repro.engines.base import EnumerationEngine, RunResult
 from repro.graph.graph import Graph
-from repro.partition import MetisLikePartitioner
-from repro.query import named_patterns
 from repro.query.pattern import Pattern
-from repro.runtime import Executor, get_executor
+from repro.runtime import Executor
 
 
 @dataclass
@@ -43,62 +44,108 @@ class GridResult:
         return seen
 
 
+def _legacy_config(
+    num_machines: int,
+    memory_capacity: int | None,
+    workers: int = 0,
+    seed: int = 0,
+) -> RunConfig:
+    """RunConfig from the harness's historic knobs (capacity in bytes)."""
+    return RunConfig(
+        machines=num_machines,
+        memory_mb=(
+            None if memory_capacity is None else memory_capacity / MIB
+        ),
+        workers=workers,
+        seed=seed,
+    )
+
+
 def make_cluster(
     graph: Graph,
     num_machines: int,
     memory_capacity: int | None = None,
     seed: int = 0,
 ) -> Cluster:
-    """Standard benchmark cluster: METIS-like partition, default cost model."""
-    return Cluster.create(
-        graph,
-        num_machines,
-        partitioner=MetisLikePartitioner(seed=seed),
-        cost_model=CostModel(),
-        memory_capacity=memory_capacity,
-    )
+    """Standard benchmark cluster: METIS-like partition, default cost model.
+
+    Thin shim over :meth:`repro.api.config.RunConfig.make_cluster`
+    (``memory_capacity`` is in bytes, the simulator's unit).
+    """
+    return _legacy_config(
+        num_machines, memory_capacity, seed=seed
+    ).make_cluster(graph)
 
 
 def run_query_grid(
     graph: Graph,
     dataset_name: str,
-    queries: list[str],
-    engines: dict[str, EnumerationEngine] | None = None,
+    queries: "list[str | Pattern]",
+    engines: Mapping[str, EnumerationEngine] | None = None,
     num_machines: int = 10,
     memory_capacity: int | None = None,
     check_consistency: bool = True,
     workers: int = 0,
     executor: Executor | None = None,
+    config: RunConfig | None = None,
+    registry: EngineRegistry | None = None,
+    engine_kwargs: Mapping[str, Mapping[str, Any]] | None = None,
+    partition=None,
+    collect: bool = False,
+    limit: int | None = None,
 ) -> GridResult:
     """Run every engine on every query over a shared partition.
 
-    Engines never see each other's clusters (fresh clocks/memory per run);
-    with ``check_consistency`` all successful engines must report the same
+    Engines default to the registry's paper tier (Sec. 7) — pass a
+    name -> instance mapping to race a custom line-up, or ``engine_kwargs``
+    (per canonical name) to configure the registry-built ones.  Engines
+    never see each other's clusters (fresh clocks/memory per run); with
+    ``check_consistency`` all successful engines must report the same
     embedding count per query.
 
-    ``workers`` > 0 fans the independent per-machine work of every run out
-    over that many OS processes (embedding counts are backend-independent);
-    alternatively pass a ready-made ``executor`` to share its process pool
-    across grids.
+    ``config`` describes the cluster/backend declaratively and supersedes
+    ``num_machines`` / ``memory_capacity`` (bytes) / ``workers``, which
+    remain as shims.  Pass a ready-made ``executor`` to share one process
+    pool across grids, and/or a prebuilt ``partition`` (matching the
+    graph and machine count) to skip repartitioning.  ``collect`` keeps
+    full embeddings on every result (``limit`` truncates each run's
+    collected list; stats/counts are unaffected) — the default counts
+    only, which is what the paper tables need.
     """
+    if config is None:
+        config = _legacy_config(num_machines, memory_capacity, workers)
     if engines is None:
-        engines = {name: cls() for name, cls in all_engines().items()}
-    base = make_cluster(graph, num_machines, memory_capacity)
-    patterns = named_patterns()
-    grid = GridResult(dataset_name, num_machines)
+        engines = (registry or default_registry()).create_all(
+            graph=graph, engine_kwargs=engine_kwargs, paper=True
+        )
+    elif engine_kwargs:
+        raise ValueError(
+            "engine_kwargs only configures registry-built engines; "
+            "it cannot apply to a ready engines mapping"
+        )
+    base = config.make_cluster(graph, partition=partition)
+    grid = GridResult(dataset_name, config.machines)
     own_executor = executor is None
-    executor = executor or get_executor(workers)
+    executor = executor or config.make_executor()
     try:
-        for qname in queries:
-            pattern = patterns[qname]
+        for query in queries:
+            pattern = resolve_pattern(query)
+            # Registered names key the grid in canonical (lower-case)
+            # form; Pattern objects (possibly unregistered) key by their
+            # own name.
+            qname = (
+                query.lower() if isinstance(query, str) else pattern.name
+            )
             counts: dict[str, int] = {}
             for ename, engine in engines.items():
                 cluster = base.fresh_copy()
                 result = engine.run(
                     cluster, pattern,
-                    collect_embeddings=False,
+                    collect_embeddings=collect,
                     executor=executor,
                 )
+                if limit is not None and result.embeddings is not None:
+                    result.embeddings = result.embeddings[:limit]
                 grid.results[(ename, qname)] = result
                 if not result.failed:
                     counts[ename] = result.embedding_count

@@ -1,16 +1,27 @@
-"""Command-line interface.
+"""Command-line interface over the :mod:`repro.api` session facade.
 
-Four subcommands cover the library's workflows end to end::
+Subcommands cover the library's workflows end to end::
 
     python -m repro generate --dataset roadnet --out road.npz
-    python -m repro enumerate --graph road.npz --query q4 --engine RADS \
-        --machines 10 --workers 4
+    python -m repro enumerate --graph road.npz --query q4 --engine rads \
+        --machines 10 --workers 4 [--json]
     python -m repro plan --query q5 [--graph road.npz]
     python -m repro profile --graph road.npz
 
-``--workers N`` runs the simulated machines' independent work on ``N``
-OS processes (the :mod:`repro.runtime` process-pool backend); results are
-identical to the default serial execution.
+``enumerate`` is a thin wrapper around the public API — equivalent to::
+
+    import repro
+    result = (repro.open("road.npz")
+              .with_cluster(machines=10)
+              .engine("rads").query("q4").run())
+
+Engine and query names are resolved case-insensitively through
+:func:`repro.api.default_registry` (aliases like ``wcoj`` or ``oracle``
+work too); ``--json`` emits the run's :meth:`RunResult.to_dict` record as
+one JSON document for downstream tooling.  ``--workers N`` runs the
+simulated machines' independent work on ``N`` OS processes (the
+:mod:`repro.runtime` process-pool backend); results are identical to the
+default serial execution.
 
 Graphs are read by extension: ``.npz`` (binary CSR), ``.edges`` (SNAP edge
 list) or ``.adj`` (adjacency text).
@@ -19,36 +30,43 @@ list) or ``.adj`` (adjacency text).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from repro.api import (
+    ConfigError,
+    UnknownEngineError,
+    UnknownQueryError,
+    open_session,
+    resolve_pattern,
+)
+from repro.api import load_graph as _api_load_graph
 from repro.bench.datasets import DATASETS, dataset
-from repro.bench.harness import make_cluster
-from repro.engines import extended_engines
-from repro.engines.single import SingleMachineEngine
 from repro.graph.graph import Graph
 from repro.graph.io import (
-    load_adjacency_text,
-    load_binary,
-    load_edge_list,
     save_adjacency_text,
     save_binary,
     save_edge_list,
 )
-from repro.query import best_execution_plan, named_patterns
+from repro.query import best_execution_plan
 from repro.query.plan_stats import estimate_plan, plan_space_summary
-from repro.runtime import get_executor
 
 
 def load_graph(path: str) -> Graph:
     """Load a graph, dispatching on the file extension."""
-    if path.endswith(".npz"):
-        return load_binary(path)
-    if path.endswith(".edges"):
-        return load_edge_list(path)
-    if path.endswith(".adj"):
-        return load_adjacency_text(path)
-    raise SystemExit(f"unknown graph format: {path} (.npz/.edges/.adj)")
+    try:
+        return _api_load_graph(path)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _resolve_query(name: str):
+    """Pattern for ``name`` (case-insensitive), or a helpful SystemExit."""
+    try:
+        return resolve_pattern(name)
+    except UnknownQueryError as exc:
+        raise SystemExit(str(exc))
 
 
 def save_graph(graph: Graph, path: str) -> int:
@@ -74,33 +92,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
-    pattern = named_patterns().get(args.query)
-    if pattern is None:
-        raise SystemExit(
-            f"unknown query {args.query!r}; choose from "
-            f"{sorted(named_patterns())}"
-        )
-    engines = {**extended_engines(), "Single": SingleMachineEngine}
-    engine_cls = engines.get(args.engine)
-    if engine_cls is None:
-        raise SystemExit(
-            f"unknown engine {args.engine!r}; choose from {sorted(engines)}"
-        )
-    cluster = make_cluster(
-        graph,
-        args.machines,
-        memory_capacity=(
-            args.memory_mb * 1024 * 1024 if args.memory_mb else None
-        ),
-    )
-    if args.straggler > 1.0:
-        cluster.set_speed_factor(0, 1.0 / args.straggler)
-    with get_executor(args.workers) as executor:
-        result = engine_cls().run(
-            cluster, pattern,
-            collect_embeddings=args.show > 0,
-            executor=executor,
-        )
+    try:
+        session = open_session(graph).with_cluster(
+            machines=args.machines,
+            # 0 keeps its historic meaning: no cap.
+            memory_mb=args.memory_mb or None,
+            stragglers={0: args.straggler} if args.straggler > 1.0 else None,
+        ).with_workers(args.workers).configure(collect=args.show > 0)
+        session.engine(args.engine).query(args.query)
+    except (ConfigError, UnknownEngineError, UnknownQueryError) as exc:
+        raise SystemExit(str(exc))
+    with session:
+        result = session.run()
+    if args.json:
+        payload = result.to_dict()
+        if payload["embeddings"] is not None:
+            payload["embeddings"] = sorted(
+                payload["embeddings"]
+            )[: args.show]
+        payload["config"] = session.config.to_dict()
+        print(json.dumps(payload, sort_keys=True))
+        return 1 if result.failed else 0
     if result.failed:
         print(f"FAILED: {result.failure}")
         return 1
@@ -111,9 +123,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    pattern = named_patterns().get(args.query)
-    if pattern is None:
-        raise SystemExit(f"unknown query {args.query!r}")
+    pattern = _resolve_query(args.query)
     plan = best_execution_plan(pattern)
     print(f"query {pattern.name}: |V|={pattern.num_vertices} "
           f"|E|={pattern.num_edges}")
@@ -143,9 +153,7 @@ def _cmd_labeled(args: argparse.Namespace) -> int:
     from repro.graph.labeled import label_randomly
 
     graph = load_graph(args.graph)
-    pattern = named_patterns().get(args.query)
-    if pattern is None:
-        raise SystemExit(f"unknown query {args.query!r}")
+    pattern = _resolve_query(args.query)
     data = label_randomly(graph, args.num_labels, seed=args.label_seed)
     try:
         qlabels = [int(x) for x in args.query_labels.split(",")]
@@ -221,6 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "are identical for every worker count")
     enum.add_argument("--show", type=int, default=0,
                       help="print up to N embeddings")
+    enum.add_argument("--json", action="store_true",
+                      help="emit the run as one JSON document "
+                           "(RunResult.to_dict plus the active config)")
     enum.set_defaults(func=_cmd_enumerate)
 
     plan = sub.add_parser("plan", help="inspect execution plans for a query")

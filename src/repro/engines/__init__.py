@@ -36,15 +36,17 @@ def __getattr__(name: str):
 
 
 def all_engines() -> dict[str, type]:
-    """Name -> engine class for the five approaches of the paper's Sec. 7."""
-    from repro.core.rads import RADSEngine
+    """Name -> engine class for the five approaches of the paper's Sec. 7.
+
+    Deprecated shim: resolve engines through
+    :func:`repro.api.default_registry` (capability filters, aliases and
+    factories) — this view keeps old imports working.
+    """
+    from repro.api.registry import default_registry
 
     return {
-        "RADS": RADSEngine,
-        "PSgL": PSgLEngine,
-        "TwinTwig": TwinTwigEngine,
-        "SEED": SEEDEngine,
-        "Crystal": CrystalEngine,
+        spec.name: spec.engine_cls
+        for spec in default_registry().specs(paper=True)
     }
 
 
@@ -54,12 +56,14 @@ def extended_engines() -> dict[str, type]:
     Adds BigJoin (Ammar et al.), the Afrati-Ullman single-round multiway
     join, and Fan et al.'s d-hop replication engine — the approaches the
     paper discusses but does not race.
+
+    Deprecated shim over :func:`repro.api.default_registry`, like
+    :func:`all_engines`.
     """
-    from repro.engines.bigjoin import BigJoinEngine
+    from repro.api.registry import default_registry
 
     return {
-        **all_engines(),
-        "BigJoin": BigJoinEngine,
-        "Multiway": MultiwayJoinEngine,
-        "Replication": ReplicationEngine,
+        spec.name: spec.engine_cls
+        for spec in default_registry()
+        if spec.paper or spec.extension
     }

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.machine import SimulatedMemoryError
@@ -50,6 +52,49 @@ class RunResult:
             f"time={self.makespan:10.3f}s  comm={self.comm_mb:9.3f}MB  "
             f"peak={self.peak_memory / 1e6:8.2f}MB  "
             f"emb={self.embedding_count}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict form (tuples become lists; inverse: from_dict)."""
+        return {
+            "engine": self.engine,
+            "pattern_name": self.pattern_name,
+            "embedding_count": self.embedding_count,
+            "makespan": self.makespan,
+            "total_comm_bytes": self.total_comm_bytes,
+            "peak_memory": self.peak_memory,
+            "per_machine_time": [float(t) for t in self.per_machine_time],
+            "embeddings": (
+                None if self.embeddings is None
+                else [list(emb) for emb in self.embeddings]
+            ),
+            "failed": self.failed,
+            "failure": self.failure,
+            "counters": {str(k): int(v) for k, v in self.counters.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunResult":
+        """Rebuild a RunResult from :meth:`to_dict` output."""
+        embeddings = data.get("embeddings")
+        return cls(
+            engine=data["engine"],
+            pattern_name=data["pattern_name"],
+            embedding_count=int(data["embedding_count"]),
+            makespan=float(data["makespan"]),
+            total_comm_bytes=int(data["total_comm_bytes"]),
+            peak_memory=int(data["peak_memory"]),
+            per_machine_time=[float(t) for t in data["per_machine_time"]],
+            embeddings=(
+                None if embeddings is None
+                else [tuple(int(v) for v in emb) for emb in embeddings]
+            ),
+            failed=bool(data.get("failed", False)),
+            failure=data.get("failure"),
+            counters={
+                str(k): int(v)
+                for k, v in (data.get("counters") or {}).items()
+            },
         )
 
 
@@ -99,6 +144,9 @@ class EnumerationEngine(ABC):
                 executor or SerialExecutor(),
             )
         except SimulatedMemoryError as exc:
+            # The failure path keeps the per-machine counters accumulated
+            # up to the OOM: the paper's "crashed competitor" bars still
+            # report how much work (and communication) the run burned.
             return RunResult(
                 engine=self.name,
                 pattern_name=pattern.name,
@@ -109,6 +157,7 @@ class EnumerationEngine(ABC):
                 per_machine_time=[m.finish_time for m in cluster.machines],
                 failed=True,
                 failure=str(exc),
+                counters=_cluster_counters(cluster),
             )
         count = len(embeddings) if collect_embeddings else self._count
         return RunResult(
@@ -120,7 +169,13 @@ class EnumerationEngine(ABC):
             peak_memory=cluster.peak_memory(),
             per_machine_time=[m.finish_time for m in cluster.machines],
             embeddings=embeddings if collect_embeddings else None,
-            counters=dict(
-                sum((m.counters for m in cluster.machines), start=type(cluster.machines[0].counters)())
-            ),
+            counters=_cluster_counters(cluster),
         )
+
+
+def _cluster_counters(cluster: Cluster) -> dict[str, int]:
+    """Per-machine operation counters merged across the cluster."""
+    merged: Counter[str] = Counter()
+    for machine in cluster.machines:
+        merged.update(machine.counters)
+    return dict(merged)

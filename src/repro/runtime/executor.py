@@ -39,7 +39,6 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.machine import SimulatedMemoryError
 from repro.partition.partition import GraphPartition
 from repro.runtime.delta import (
     ClusterState,

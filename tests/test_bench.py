@@ -1,6 +1,5 @@
 """Tests for the benchmark harness and datasets (small scales)."""
 
-import math
 
 import pytest
 

@@ -58,6 +58,23 @@ class TestCommands:
             counts.add(out.split("emb=")[1].split()[0])
         assert len(counts) == 1
 
+    def test_memory_mb_zero_means_unlimited(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main([
+            "enumerate", "--graph", path, "--query", "q2",
+            "--engine", "rads", "--machines", "3", "--memory-mb", "0",
+        ]) == 0
+        assert "emb=" in capsys.readouterr().out
+
+    def test_bad_config_is_clean_error(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "enumerate", "--graph", path, "--query", "q2",
+                "--engine", "rads", "--machines", "0",
+            ])
+        assert "machines" in str(excinfo.value)
+
     def test_enumerate_oom_exit_code(self, tmp_path, capsys):
         dense = erdos_renyi(120, 0.25, seed=19)
         path = str(tmp_path / "dense.npz")
@@ -153,3 +170,103 @@ class TestCommands:
                 "labeled", "--graph", path, "--query", "triangle",
                 "--query-labels", "a,b,c",
             ])
+
+
+class TestRegistryResolution:
+    """Engine/query lookups go through the repro.api registry."""
+
+    def test_engine_name_case_insensitive(self, graph_file, capsys):
+        path, _ = graph_file
+        for spelling in ("rads", "RADS", "Rads"):
+            assert main([
+                "enumerate", "--graph", path, "--query", "q2",
+                "--engine", spelling, "--machines", "3",
+            ]) == 0
+            assert "RADS" in capsys.readouterr().out
+
+    def test_engine_alias(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main([
+            "enumerate", "--graph", path, "--query", "q2",
+            "--engine", "oracle", "--machines", "2",
+        ]) == 0
+        assert "Single" in capsys.readouterr().out
+
+    def test_query_name_case_insensitive(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main([
+            "enumerate", "--graph", path, "--query", "Q2",
+            "--engine", "rads", "--machines", "3",
+        ]) == 0
+        assert "emb=" in capsys.readouterr().out
+        assert main(["plan", "--query", "Q5"]) == 0
+        assert "matching order" in capsys.readouterr().out
+
+    def test_bad_engine_lists_canonical_names_and_aliases(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "enumerate", "--graph", path, "--query", "q1",
+                "--engine", "nope",
+            ])
+        message = str(excinfo.value)
+        assert "TwinTwig" in message
+        assert "aliases: tt" in message
+        assert "Single" in message
+
+    def test_bad_query_lists_names(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit) as excinfo:
+            main(["enumerate", "--graph", path, "--query", "nope"])
+        message = str(excinfo.value)
+        assert "q4" in message and "triangle" in message
+
+
+class TestJsonOutput:
+    def test_json_record(self, graph_file, capsys):
+        import json
+
+        path, _ = graph_file
+        assert main([
+            "enumerate", "--graph", path, "--query", "q2",
+            "--engine", "rads", "--machines", "3", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "RADS"
+        assert payload["failed"] is False
+        assert payload["embedding_count"] > 0
+        assert payload["embeddings"] is None
+        assert payload["config"]["machines"] == 3
+        assert payload["counters"]
+
+    def test_json_with_show_includes_embeddings(self, graph_file, capsys):
+        import json
+
+        path, _ = graph_file
+        assert main([
+            "enumerate", "--graph", path, "--query", "triangle",
+            "--engine", "single", "--machines", "2",
+            "--show", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["embeddings"]) == 2
+        # The embedded config must describe how the run really executed.
+        assert payload["config"]["collect"] is True
+
+    def test_json_failed_run(self, tmp_path, capsys):
+        import json
+
+        from repro.graph import erdos_renyi as er
+
+        dense = er(120, 0.25, seed=19)
+        path = str(tmp_path / "dense.npz")
+        save_graph(dense, path)
+        assert main([
+            "enumerate", "--graph", path, "--query", "q5",
+            "--engine", "TwinTwig", "--machines", "3",
+            "--memory-mb", "1", "--json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is True
+        assert payload["failure"]
+        assert payload["counters"], "OOM runs keep per-machine counters"

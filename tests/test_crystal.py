@@ -10,7 +10,7 @@ from repro.engines.crystal import (
     choose_core,
     minimum_vertex_covers,
 )
-from repro.graph import Graph, community_graph, erdos_renyi
+from repro.graph import community_graph, erdos_renyi
 from repro.query.patterns import PAPER_QUERIES, CLIQUE_QUERIES
 
 

@@ -14,7 +14,6 @@ from repro.engines import (
 )
 from repro.core.rads import RADSEngine
 from repro.engines import MultiwayJoinEngine, ReplicationEngine
-from repro.graph import community_graph
 from repro.query import named_patterns
 
 ENGINES = [

@@ -1,6 +1,5 @@
 """Unit tests for the Graph core (CSR storage, builder, IO)."""
 
-import numpy as np
 import pytest
 
 from repro.graph import Graph, GraphBuilder, load_adjacency_text, save_adjacency_text

@@ -1,6 +1,5 @@
 """Unit tests for graph algorithms (BFS, components, triangles, cliques...)."""
 
-import numpy as np
 import pytest
 
 from repro.graph import (

@@ -1,6 +1,5 @@
 """Tests for pattern isomorphism checking."""
 
-import pytest
 
 from repro.query import Pattern
 from repro.query.isomorphism import are_isomorphic, find_isomorphism

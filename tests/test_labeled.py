@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.enumeration import enumerate_embeddings, labeled_embeddings
 from repro.enumeration.backtracking import EnumerationStats
 from repro.enumeration.labeled import (
-    LabeledEnumerator,
     LabeledPattern,
     candidate_sets,
     labeled_matching_order,

@@ -7,9 +7,9 @@ from hypothesis import strategies as st
 
 from repro.cluster import Cluster
 from repro.engines import MultiwayJoinEngine, SingleMachineEngine, compute_shares
-from repro.graph import community_graph, erdos_renyi
+from repro.graph import erdos_renyi
 from repro.query import named_patterns
-from repro.query.patterns import clique, path, triangle
+from repro.query.patterns import path, triangle
 
 
 def oracle(cluster, pattern):

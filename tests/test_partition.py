@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import Graph, bfs_distances, erdos_renyi, grid_road_network
+from repro.graph import Graph, erdos_renyi, grid_road_network
 from repro.partition import (
     GraphPartition,
     HashPartitioner,

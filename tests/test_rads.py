@@ -5,7 +5,6 @@ import pytest
 from repro.cluster import Cluster
 from repro.core.rads import RADSEngine
 from repro.engines import SingleMachineEngine
-from repro.graph import erdos_renyi, grid_road_network, powerlaw_cluster
 from repro.query import named_patterns, paper_query, random_star_plan
 
 

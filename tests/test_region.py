@@ -1,6 +1,5 @@
 """Tests for region grouping and memory estimation (paper Sec. 6, Alg. 3)."""
 
-import numpy as np
 import pytest
 
 from repro.core.embedding_trie import NODE_BYTES

@@ -1,6 +1,5 @@
 """Tests for the EXPERIMENTS.md generator."""
 
-import pathlib
 
 from repro.bench.reportgen import SECTIONS, generate
 

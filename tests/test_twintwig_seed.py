@@ -7,7 +7,6 @@ from repro.engines.join_common import ConstraintChecker, DistributedJoinRunner, 
 from repro.engines.seed import _pattern_cliques, seed_decomposition
 from repro.engines.twintwig import twintwig_decomposition
 from repro.graph import erdos_renyi
-from repro.query import named_patterns
 from repro.query.patterns import PAPER_QUERIES, CLIQUE_QUERIES
 
 

@@ -1,6 +1,5 @@
 """Tests for the VF2-style serial enumerator."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
