@@ -24,6 +24,9 @@ def main() -> None:
 
     # 3. Enumerate with RADS (any registry name/alias works: "rads",
     #    "crystal", "wcoj", ... — see repro.default_registry().describe()).
+    #    Queries are registered names ("q4", aliases like "house"), a
+    #    Pattern, or edge-list DSL: .query("a-b, b-c, c-a, a-d, b-e, d-e")
+    #    builds the same house pattern on the fly.
     result = session.engine("rads").query("q4").run(collect=True)
     print(result.summary())
     print(f"embeddings found: {result.embedding_count}")
@@ -37,7 +40,17 @@ def main() -> None:
     assert set(result.embeddings) == set(oracle.embeddings)
     print("matches single-machine ground truth: OK")
 
-    # 5. Results serialize: to_dict/from_dict round-trip for archiving.
+    # 5. Why this execution?  explain() returns the chosen decomposition
+    #    (units, matching order, symmetry breaking, cost estimates) as a
+    #    serializable record — see examples/explain_plans.py for more.
+    explanation = session.engine("rads").explain()
+    print(
+        f"plan: {explanation.num_rounds} round(s), "
+        f"start u{explanation.start_vertex}, "
+        f"matching order {explanation.matching_order}"
+    )
+
+    # 6. Results serialize: to_dict/from_dict round-trip for archiving.
     record = result.to_dict()
     assert repro.RunResult.from_dict(record) == result
     print(f"serialized record keys: {sorted(record)[:4]} ...")

@@ -40,6 +40,7 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     # -- the repro.api facade ------------------------------------------
     "open": ("repro.api.session", "open_session"),
     "open_session": ("repro.api.session", "open_session"),
+    "load_graph": ("repro.api.session", "load_graph"),
     "Session": ("repro.api.session", "Session"),
     "RunConfig": ("repro.api.config", "RunConfig"),
     "ConfigError": ("repro.api.config", "ConfigError"),
@@ -49,8 +50,17 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "default_registry": ("repro.api.registry", "default_registry"),
     "UnknownEngineError": ("repro.api.registry", "UnknownEngineError"),
     "UnknownQueryError": ("repro.api.session", "UnknownQueryError"),
+    "CapabilityError": ("repro.api.registry", "CapabilityError"),
     "write_results_jsonl": ("repro.api.results", "write_results_jsonl"),
     "read_results_jsonl": ("repro.api.results", "read_results_jsonl"),
+    # -- the declarative query surface ---------------------------------
+    "pattern": ("repro.query.dsl", "parse_pattern"),
+    "parse_pattern": ("repro.query.dsl", "parse_pattern"),
+    "PatternBuilder": ("repro.query.dsl", "PatternBuilder"),
+    "PatternSyntaxError": ("repro.query.dsl", "PatternSyntaxError"),
+    "QueryExplanation": ("repro.query.explain", "QueryExplanation"),
+    "explain_query": ("repro.query.explain", "explain_query"),
+    "resolve_query": ("repro.api.session", "resolve_query"),
     # -- lower layers ---------------------------------------------------
     "Graph": ("repro.graph.graph", "Graph"),
     "GraphBuilder": ("repro.graph.builder", "GraphBuilder"),

@@ -29,6 +29,7 @@ Pieces:
 
 from repro.api.config import MIB, ConfigError, PARTITIONER_NAMES, RunConfig
 from repro.api.registry import (
+    CapabilityError,
     EngineRegistry,
     EngineSpec,
     UnknownEngineError,
@@ -48,29 +49,45 @@ from repro.api.session import (
     load_graph,
     open_session,
     resolve_pattern,
+    resolve_query,
 )
 from repro.api.session import open  # noqa: A004 - the facade's spelling
 from repro.engines.base import RunResult
+from repro.query.dsl import (
+    PatternBuilder,
+    PatternSyntaxError,
+    parse_pattern,
+    pattern,
+)
+from repro.query.explain import QueryExplanation, explain_query
 
 __all__ = [
+    "CapabilityError",
     "ConfigError",
     "EngineRegistry",
     "EngineSpec",
     "MIB",
     "PARTITIONER_NAMES",
+    "PatternBuilder",
+    "PatternSyntaxError",
+    "QueryExplanation",
     "RunConfig",
     "RunResult",
     "Session",
     "UnknownEngineError",
     "UnknownQueryError",
     "default_registry",
+    "explain_query",
     "grid_results",
     "load_graph",
     "open",
     "open_session",
+    "parse_pattern",
+    "pattern",
     "read_results_jsonl",
     "register_engine",
     "resolve_pattern",
+    "resolve_query",
     "result_from_json",
     "result_to_json",
     "write_results_jsonl",

@@ -24,8 +24,9 @@ Third-party engines plug in with the decorator::
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engines.base import EnumerationEngine
@@ -37,17 +38,61 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 EngineFactory = Callable[..., "EnumerationEngine"]
 
 
+def suggest_names(name: str, known: "Iterable[str]") -> list[str]:
+    """Close matches for a mistyped ``name`` (case-insensitive difflib)."""
+    known = sorted(set(known))
+    by_lower = {}
+    for candidate in known:
+        by_lower.setdefault(candidate.lower(), candidate)
+    matches = difflib.get_close_matches(
+        str(name).lower(), list(by_lower), n=3, cutoff=0.6
+    )
+    return [by_lower[match] for match in matches]
+
+
+def _did_you_mean(suggestions: list[str]) -> str:
+    if not suggestions:
+        return ""
+    return f" did you mean {' or '.join(map(repr, suggestions))}?"
+
+
 class UnknownEngineError(KeyError):
     """An engine name that no registry entry (or alias) matches."""
 
     def __init__(self, name: str, registry: "EngineRegistry"):
         self.name = name
         self.choices = registry.describe()
+        self.suggestions = suggest_names(name, registry.known_names())
         super().__init__(name)
 
     def __str__(self) -> str:
         return (
-            f"unknown engine {self.name!r}; choose from: {self.choices}"
+            f"unknown engine {self.name!r};{_did_you_mean(self.suggestions)}"
+            f" choose from: {self.choices}"
+        )
+
+
+class CapabilityError(ValueError):
+    """A resolved engine lacks a capability the request requires."""
+
+    def __init__(self, spec: "EngineSpec", capability: str,
+                 qualified: list[str]):
+        self.spec = spec
+        self.capability = capability
+        self.qualified = qualified
+        nice = {
+            "supports_labels": "labeled queries",
+            "needs_index": "a prebuilt index",
+            "distributed": "distributed execution",
+        }.get(capability, capability)
+        super().__init__(
+            f"engine {spec.name!r} does not support {nice} "
+            f"({capability}); "
+            + (
+                f"engines that qualify: {', '.join(qualified)}"
+                if qualified
+                else "no registered engine qualifies"
+            )
         )
 
 
@@ -137,6 +182,30 @@ class EngineRegistry:
     def names(self) -> list[str]:
         """Canonical names in registration order."""
         return list(self._specs)
+
+    def known_names(self) -> list[str]:
+        """Every accepted lookup key (canonical names and aliases)."""
+        names: list[str] = []
+        for spec in self._specs.values():
+            names.append(spec.name)
+            names.extend(spec.aliases)
+        return names
+
+    def require(self, name: str, **capabilities: Any) -> EngineSpec:
+        """Resolve ``name`` and check it carries every given capability.
+
+        Raises :class:`CapabilityError` naming the engines that qualify —
+        e.g. ``registry.require("rads", supports_labels=True)`` explains
+        that only label-capable engines can serve labeled queries.
+        """
+        spec = self.resolve(name)
+        for capability, want in capabilities.items():
+            if getattr(spec, capability) != want:
+                qualified = [
+                    s.name for s in self.specs(**{capability: want})
+                ]
+                raise CapabilityError(spec, capability, qualified)
+        return spec
 
     def specs(self, **capabilities: Any) -> list[EngineSpec]:
         """Specs whose attributes match every ``capabilities`` item.

@@ -28,9 +28,16 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.api.config import RunConfig
-from repro.api.registry import EngineRegistry, default_registry
+from repro.api.registry import (
+    EngineRegistry,
+    default_registry,
+    suggest_names,
+)
+from repro.enumeration.labeled import LabeledPattern
 from repro.graph.graph import Graph
+from repro.graph.labeled import LabeledGraph
 from repro.graph.io import load_adjacency_text, load_binary, load_edge_list
+from repro.query.dsl import PatternSyntaxError, parse_pattern
 from repro.query.pattern import Pattern
 from repro.query.patterns import named_patterns
 
@@ -38,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.bench.harness import GridResult
     from repro.cluster.cluster import Cluster
     from repro.engines.base import RunResult
+    from repro.query.explain import QueryExplanation
     from repro.runtime.executor import Executor
 
 #: Sentinel distinguishing "not passed" from an explicit ``None``.
@@ -45,51 +53,101 @@ _UNSET: Any = object()
 
 
 class UnknownQueryError(KeyError):
-    """A query name no registered pattern matches."""
+    """A query string neither a registered pattern nor valid DSL matches."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, dsl_error: str | None = None):
         self.name = name
         self.choices = ", ".join(sorted(named_patterns()))
+        self.suggestions = suggest_names(name, named_patterns())
+        self.dsl_error = dsl_error
         super().__init__(name)
 
     def __str__(self) -> str:
-        return f"unknown query {self.name!r}; choose from: {self.choices}"
+        hint = (
+            f" did you mean {' or '.join(map(repr, self.suggestions))}?"
+            if self.suggestions
+            else ""
+        )
+        detail = (
+            f" (as pattern DSL: {self.dsl_error})" if self.dsl_error else ""
+        )
+        return (
+            f"unknown query {self.name!r};{hint} "
+            f"choose from: {self.choices}, "
+            f"or pass edge-list DSL like 'a-b, b-c, c-a'{detail}"
+        )
 
 
 def load_graph(path: str | Path) -> Graph:
-    """Load a graph, dispatching on the file extension.
+    """Load a graph, dispatching case-insensitively on the file extension.
 
     ``.npz`` (binary CSR), ``.edges`` (SNAP edge list) or ``.adj``
-    (adjacency text).  Raises ``ValueError`` for anything else.
+    (adjacency text) — ``ROAD.NPZ`` works too.  Raises ``ValueError``
+    naming the offending suffix for anything else.
     """
-    path = str(path)
-    if path.endswith(".npz"):
-        return load_binary(path)
-    if path.endswith(".edges"):
-        return load_edge_list(path)
-    if path.endswith(".adj"):
-        return load_adjacency_text(path)
-    raise ValueError(f"unknown graph format: {path} (.npz/.edges/.adj)")
+    suffix = Path(str(path)).suffix
+    loader = {
+        ".npz": load_binary,
+        ".edges": load_edge_list,
+        ".adj": load_adjacency_text,
+    }.get(suffix.lower())
+    if loader is None:
+        raise ValueError(
+            f"unknown graph format {suffix or str(path)!r} for {path}; "
+            f"expected .npz, .edges or .adj (any case)"
+        )
+    return loader(str(path))
 
 
-def resolve_pattern(query: "str | Pattern") -> Pattern:
-    """A Pattern from a pattern or a (case-insensitive) registered name."""
-    if isinstance(query, Pattern):
+def resolve_query(
+    query: "str | Pattern | LabeledPattern",
+) -> "Pattern | LabeledPattern":
+    """A (possibly labeled) pattern from a name, DSL text or pattern.
+
+    Strings are first looked up as registered names (case-insensitive,
+    human aliases included: ``"house"`` finds ``q4``); anything that looks
+    like edge-list DSL (contains ``-``) is parsed with
+    :func:`repro.query.dsl.parse_pattern`, so labeled queries come through
+    the same front door::
+
+        resolve_query("q4")                    # registered name
+        resolve_query("a-b, b-c, c-a")         # DSL -> triangle
+        resolve_query("a:0-b:1, b-c:0, c-a")   # DSL -> LabeledPattern
+    """
+    if isinstance(query, (Pattern, LabeledPattern)):
         return query
-    pattern = named_patterns().get(str(query).lower())
-    if pattern is None:
-        raise UnknownQueryError(str(query))
-    return pattern
+    text = str(query)
+    named = named_patterns().get(text.strip().lower())
+    if named is not None:
+        return named
+    if "-" in text:
+        try:
+            return parse_pattern(text)
+        except PatternSyntaxError as exc:
+            raise UnknownQueryError(text, dsl_error=str(exc)) from exc
+    raise UnknownQueryError(text)
+
+
+def resolve_pattern(query: "str | Pattern | LabeledPattern") -> Pattern:
+    """Like :func:`resolve_query`, unwrapping labels to the bare Pattern."""
+    resolved = resolve_query(query)
+    if isinstance(resolved, LabeledPattern):
+        return resolved.pattern
+    return resolved
 
 
 def open_session(
-    source: "Graph | str | Path",
+    source: "Graph | LabeledGraph | str | Path",
     *,
     config: RunConfig | None = None,
     registry: EngineRegistry | None = None,
 ) -> "Session":
-    """Open a session over a Graph instance or a graph file path."""
-    graph = source if isinstance(source, Graph) else load_graph(source)
+    """Open a session over a (labeled) graph instance or a graph file path."""
+    graph = (
+        source
+        if isinstance(source, (Graph, LabeledGraph))
+        else load_graph(source)
+    )
     return Session(graph, config=config, registry=registry)
 
 
@@ -108,22 +166,28 @@ class Session:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: "Graph | LabeledGraph",
         config: RunConfig | None = None,
         registry: EngineRegistry | None = None,
     ):
-        if not isinstance(graph, Graph):
+        if isinstance(graph, LabeledGraph):
+            self._labeled_graph: LabeledGraph | None = graph
+            self._graph = graph.graph
+        elif isinstance(graph, Graph):
+            self._labeled_graph = None
+            self._graph = graph
+        else:
             raise TypeError(
-                f"Session needs a Graph, got {type(graph).__name__}; "
-                f"use repro.open(path) for files"
+                f"Session needs a Graph or LabeledGraph, got "
+                f"{type(graph).__name__}; use repro.open(path) for files"
             )
-        self._graph = graph
         self._config = config or RunConfig()
         self._registry = registry or default_registry()
         self._engine_name: str | None = None
         self._engine_kwargs: dict[str, Any] = {}
         self._engine = None
         self._pattern: Pattern | None = None
+        self._labeled_query: LabeledPattern | None = None
         self._query_name: str | None = None
         self._partition = None
         self._executor: "Executor | None" = None
@@ -131,8 +195,13 @@ class Session:
     # -- introspection -------------------------------------------------
     @property
     def graph(self) -> Graph:
-        """The data graph."""
+        """The (unlabeled) data graph partitions and clusters build on."""
         return self._graph
+
+    @property
+    def labeled_graph(self) -> "LabeledGraph | None":
+        """The labeled data graph, when the session was opened with one."""
+        return self._labeled_graph
 
     @property
     def config(self) -> RunConfig:
@@ -206,22 +275,62 @@ class Session:
         reused across runs, so factory work (like that index) is paid
         once per selection.
         """
-        self._engine_name = self._registry.resolve(name).name
+        canonical = self._registry.resolve(name).name
+        # Check before mutating: a rejected selection must leave the
+        # previously selected engine (and its name) fully intact.
+        self._check_label_capability(engine_name=canonical)
+        self._engine_name = canonical
         self._engine_kwargs = dict(engine_kwargs)
         self._engine = self._registry.create(
             self._engine_name, graph=self._graph, **self._engine_kwargs
         )
         return self
 
-    def query(self, query: "str | Pattern") -> "Session":
-        """Select the pattern (name like "q4"/"triangle", or a Pattern)."""
-        self._pattern = resolve_pattern(query)
-        # Only a registered lookup name is a grid key; a Pattern object is
-        # carried as-is so run_grid works for unregistered patterns too.
+    def query(self, query: "str | Pattern | LabeledPattern") -> "Session":
+        """Select the query pattern.
+
+        Accepts a registered name (``"q4"``, human aliases like
+        ``"house"``, any case), edge-list DSL (``"a-b, b-c, c-a"``,
+        labeled ``"a:0-b:1, ..."``), a :class:`Pattern` or a
+        :class:`~repro.enumeration.labeled.LabeledPattern`.  Labeled
+        queries need a session opened over a
+        :class:`~repro.graph.labeled.LabeledGraph` and an engine whose
+        registry entry has ``supports_labels=True`` — both are checked
+        here, at resolution time.
+        """
+        resolved = resolve_query(query)
+        if isinstance(resolved, LabeledPattern):
+            if self._labeled_graph is None:
+                raise ValueError(
+                    f"labeled query {resolved!r} needs a labeled data "
+                    f"graph; open the session with a LabeledGraph (e.g. "
+                    f"repro.graph.labeled.label_randomly(graph, k))"
+                )
+            # Check before mutating: a rejected query must leave the
+            # previous selection fully intact.
+            if self._engine_name is not None:
+                self._registry.require(
+                    self._engine_name, supports_labels=True
+                )
+            self._labeled_query = resolved
+            self._pattern = resolved.pattern
+        else:
+            self._labeled_query = None
+            self._pattern = resolved
+        # Only a registered lookup name is a grid key; patterns and DSL
+        # text are carried as objects so run_grid works for them too.
         self._query_name = (
-            None if isinstance(query, Pattern) else str(query).lower()
+            str(query).strip().lower()
+            if isinstance(query, str)
+            and str(query).strip().lower() in named_patterns()
+            else None
         )
         return self
+
+    def _check_label_capability(self, engine_name: str | None) -> None:
+        """Enforce ``supports_labels`` once engine and query are known."""
+        if engine_name is not None and self._labeled_query is not None:
+            self._registry.require(engine_name, supports_labels=True)
 
     # -- execution -----------------------------------------------------
     def _get_partition(self):
@@ -251,13 +360,24 @@ class Session:
 
         ``collect``/``limit`` override the config's result mode for this
         run.  With a limit, collected embeddings are truncated after the
-        (deterministic) run — counts and stats are unaffected.
+        (deterministic) run — counts and stats are unaffected.  Labeled
+        queries run through the engine's ``run_labeled`` (the TurboIso
+        matcher layer); there the limit caps enumeration itself, so it
+        also caps the reported count.
         """
         if self._pattern is None:
             raise RuntimeError("no query selected; call .query(name) first")
         engine = self.build_engine()
         collect = self._config.collect if collect is None else collect
         limit = self._config.limit if limit is None else limit
+        if self._labeled_query is not None:
+            return engine.run_labeled(
+                self.cluster(),
+                self._labeled_graph,
+                self._labeled_query,
+                collect_embeddings=collect,
+                limit=limit,
+            )
         result = engine.run(
             self.cluster(),
             self._pattern,
@@ -267,6 +387,23 @@ class Session:
         if limit is not None and result.embeddings is not None:
             result.embeddings = result.embeddings[:limit]
         return result
+
+    def explain(self, *, with_estimates: bool = True) -> "QueryExplanation":
+        """Explain how the selected engine would run the selected query.
+
+        Returns a serializable
+        :class:`~repro.query.explain.QueryExplanation` — decomposition
+        units, matching order, symmetry-breaking conditions, runner-up
+        plans and (unless ``with_estimates=False``) per-round cost-model
+        estimates against the session graph.  Purely analytical: nothing
+        is enumerated and no cluster stats are touched.
+        """
+        if self._pattern is None:
+            raise RuntimeError("no query selected; call .query(name) first")
+        return self.build_engine().explain(
+            self._labeled_query or self._pattern,
+            graph=self._graph if with_estimates else None,
+        )
 
     def run_grid(
         self,
@@ -289,6 +426,12 @@ class Session:
             if self._pattern is None:
                 raise RuntimeError(
                     "no queries given and no query selected"
+                )
+            if self._labeled_query is not None:
+                raise ValueError(
+                    "labeled queries cannot be gridded (the distributed "
+                    "engines are unlabeled); pass explicit unlabeled "
+                    "queries= instead"
                 )
             queries = [
                 self._query_name if self._query_name is not None

@@ -5,8 +5,17 @@ Subcommands cover the library's workflows end to end::
     python -m repro generate --dataset roadnet --out road.npz
     python -m repro enumerate --graph road.npz --query q4 --engine rads \
         --machines 10 --workers 4 [--json]
+    python -m repro explain --query q4 [--engine rads] [--graph road.npz] \
+        [--json]
     python -m repro plan --query q5 [--graph road.npz]
     python -m repro profile --graph road.npz
+
+Queries are registered names (``q4``, human aliases like ``house``, any
+case) or edge-list DSL (``"a-b, b-c, c-a"``; ``a:0-b:1`` attaches labels
+— see ROADMAP.md for the grammar).  ``explain`` prints the engine's
+chosen decomposition (units, matching order, symmetry-breaking
+conditions, runner-up plans, and cost estimates when ``--graph`` is
+given); with ``--json`` it emits ``QueryExplanation.to_dict()``.
 
 ``enumerate`` is a thin wrapper around the public API — equivalent to::
 
@@ -35,11 +44,12 @@ import sys
 from typing import Sequence
 
 from repro.api import (
-    ConfigError,
     UnknownEngineError,
     UnknownQueryError,
+    default_registry,
     open_session,
     resolve_pattern,
+    resolve_query,
 )
 from repro.api import load_graph as _api_load_graph
 from repro.bench.datasets import DATASETS, dataset
@@ -62,22 +72,37 @@ def load_graph(path: str) -> Graph:
 
 
 def _resolve_query(name: str):
-    """Pattern for ``name`` (case-insensitive), or a helpful SystemExit."""
+    """Pattern for ``name`` (name or DSL), or a helpful SystemExit."""
     try:
         return resolve_pattern(name)
     except UnknownQueryError as exc:
         raise SystemExit(str(exc))
 
 
+def _resolve_query_maybe_labeled(name: str):
+    """Pattern or LabeledPattern for ``name``, or a helpful SystemExit."""
+    try:
+        return resolve_query(name)
+    except UnknownQueryError as exc:
+        raise SystemExit(str(exc))
+
+
 def save_graph(graph: Graph, path: str) -> int:
-    """Save a graph, dispatching on the file extension."""
-    if path.endswith(".npz"):
-        return save_binary(graph, path)
-    if path.endswith(".edges"):
-        return save_edge_list(graph, path)
-    if path.endswith(".adj"):
-        return save_adjacency_text(graph, path)
-    raise SystemExit(f"unknown graph format: {path} (.npz/.edges/.adj)")
+    """Save a graph, dispatching case-insensitively on the file extension."""
+    from pathlib import Path
+
+    suffix = Path(path).suffix
+    saver = {
+        ".npz": save_binary,
+        ".edges": save_edge_list,
+        ".adj": save_adjacency_text,
+    }.get(suffix.lower())
+    if saver is None:
+        raise SystemExit(
+            f"unknown graph format {suffix or path!r} for {path}; "
+            f"expected .npz, .edges or .adj (any case)"
+        )
+    return saver(graph, path)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -100,7 +125,10 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             stragglers={0: args.straggler} if args.straggler > 1.0 else None,
         ).with_workers(args.workers).configure(collect=args.show > 0)
         session.engine(args.engine).query(args.query)
-    except (ConfigError, UnknownEngineError, UnknownQueryError) as exc:
+    # ValueError covers ConfigError, CapabilityError (label-incapable
+    # engine) and the labeled-query-on-unlabeled-graph complaint — all
+    # user input problems that deserve a one-line message.
+    except (ValueError, UnknownEngineError, UnknownQueryError) as exc:
         raise SystemExit(str(exc))
     with session:
         result = session.run()
@@ -147,18 +175,51 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    query = _resolve_query_maybe_labeled(args.query)
+    try:
+        engine = default_registry().create(args.engine)
+    except UnknownEngineError as exc:
+        raise SystemExit(str(exc))
+    graph = load_graph(args.graph) if args.graph else None
+    explanation = engine.explain(query, graph=graph)
+    if args.json:
+        print(json.dumps(explanation.to_dict(), sort_keys=True))
+    else:
+        print(explanation)
+    return 0
+
+
 def _cmd_labeled(args: argparse.Namespace) -> int:
     from repro.enumeration.backtracking import EnumerationStats
     from repro.enumeration.labeled import LabeledPattern, labeled_embeddings
     from repro.graph.labeled import label_randomly
 
     graph = load_graph(args.graph)
-    pattern = _resolve_query(args.query)
+    query = _resolve_query_maybe_labeled(args.query)
     data = label_randomly(graph, args.num_labels, seed=args.label_seed)
-    try:
-        qlabels = [int(x) for x in args.query_labels.split(",")]
-    except ValueError:
-        raise SystemExit("--query-labels must be comma-separated integers")
+    if isinstance(query, LabeledPattern):
+        # Labels came through the DSL ("a:0-b:1, ..."); --query-labels
+        # would be a second, conflicting source.
+        if args.query_labels is not None:
+            raise SystemExit(
+                f"query {args.query!r} already carries labels; "
+                f"drop --query-labels"
+            )
+        pattern, qlabels = query.pattern, list(query.labels)
+    else:
+        pattern = query
+        if args.query_labels is None:
+            raise SystemExit(
+                "--query-labels is required for unlabeled queries "
+                "(or label the DSL: 'a:0-b:1, ...')"
+            )
+        try:
+            qlabels = [int(x) for x in args.query_labels.split(",")]
+        except ValueError:
+            raise SystemExit(
+                "--query-labels must be comma-separated integers"
+            )
     if len(qlabels) != pattern.num_vertices:
         raise SystemExit(
             f"query {args.query!r} needs {pattern.num_vertices} labels, "
@@ -240,13 +301,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="optional graph for cardinality estimates")
     plan.set_defaults(func=_cmd_plan)
 
+    explain = sub.add_parser(
+        "explain",
+        help="explain how an engine would run a query "
+             "(decomposition, matching order, symmetry, plan ranking)",
+    )
+    explain.add_argument("--query", required=True,
+                         help="registered name or edge-list DSL")
+    explain.add_argument("--engine", default="RADS")
+    explain.add_argument("--graph", default=None,
+                         help="optional graph for per-round cost estimates")
+    explain.add_argument("--json", action="store_true",
+                         help="emit QueryExplanation.to_dict() as one "
+                              "JSON document")
+    explain.set_defaults(func=_cmd_explain)
+
     labeled = sub.add_parser(
         "labeled", help="labeled matching with synthetic labels"
     )
     labeled.add_argument("--graph", required=True)
     labeled.add_argument("--query", required=True)
-    labeled.add_argument("--query-labels", required=True,
-                         help="comma-separated label per query vertex")
+    labeled.add_argument("--query-labels", default=None,
+                         help="comma-separated label per query vertex "
+                              "(omit when the DSL query carries labels)")
     labeled.add_argument("--num-labels", type=int, default=3)
     labeled.add_argument("--label-seed", type=int, default=0)
     labeled.add_argument("--limit", type=int, default=None)

@@ -121,6 +121,12 @@ class RADSEngine(EnumerationEngine):
     """Robust Asynchronous Distributed Subgraph enumeration."""
 
     name = "RADS"
+    explain_note = (
+        "round 0 splits off single-machine embeddings (SM-E), then one "
+        "asynchronous R-Meef round per unit expands the pivot's leaves "
+        "and checks the verification edges; idle machines steal region "
+        "groups (checkR/shareR)"
+    )
 
     def __init__(
         self,
@@ -149,6 +155,17 @@ class RADSEngine(EnumerationEngine):
         self.last_plan: ExecutionPlan | None = None
 
     # ------------------------------------------------------------------
+    def execution_plan(self, pattern: Pattern) -> ExecutionPlan:
+        """The plan the configured ``plan_provider`` would execute."""
+        return self._plan_provider(pattern)
+
+    def _explain_extras(self, pattern: Pattern) -> dict:
+        return {
+            "grouping": self._grouping,
+            "sme_enabled": self._enable_sme,
+            "work_stealing": self._enable_work_stealing,
+        }
+
     def _budgets(self, cluster: Cluster) -> tuple[float, float]:
         capacity = cluster.memory_capacity
         if capacity is None:

@@ -5,13 +5,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.machine import SimulatedMemoryError
 from repro.query.pattern import Pattern
 from repro.query.symmetry import symmetry_breaking_constraints
 from repro.runtime.executor import Executor, SerialExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.query.explain import QueryExplanation
 
 
 @dataclass
@@ -103,6 +106,9 @@ class EnumerationEngine(ABC):
 
     name: str = "engine"
 
+    #: One-line execution-strategy note included in :meth:`explain` output.
+    explain_note: str = ""
+
     @abstractmethod
     def _execute(
         self,
@@ -119,6 +125,61 @@ class EnumerationEngine(ABC):
         per-region-group units of work; engines that are inherently
         sequential may ignore it.
         """
+
+    # -- inspection ----------------------------------------------------
+    def execution_plan(self, pattern: Pattern):
+        """The decomposition this engine would run ``pattern`` with.
+
+        The default is the paper's three-heuristic choice
+        (:func:`repro.query.plan.best_execution_plan`); engines with their
+        own planner (RADS's ``plan_provider``) override this so
+        :meth:`explain` reports the plan they would actually execute.
+        """
+        from repro.query.plan import best_execution_plan
+
+        return best_execution_plan(pattern)
+
+    def _explain_extras(self, pattern: Pattern) -> dict[str, Any]:
+        """Engine-specific structure surfaced in :meth:`explain`."""
+        return {}
+
+    def explain(self, query, *, graph=None) -> "QueryExplanation":
+        """A serializable :class:`~repro.query.explain.QueryExplanation`.
+
+        ``query`` is a :class:`Pattern` or
+        :class:`~repro.enumeration.labeled.LabeledPattern`; pass the data
+        ``graph`` to include per-round cost-model estimates.  The record
+        mirrors :class:`RunResult`: ``to_dict()``/``from_dict()`` round-trip
+        through JSON and ``str()`` pretty-prints the plan.
+        """
+        from repro.query.explain import explain_query
+
+        pattern = getattr(query, "pattern", query)
+        return explain_query(
+            query,
+            engine=self.name,
+            graph=graph,
+            plan=self.execution_plan(pattern),
+            extras=self._explain_extras(pattern),
+            notes=self.explain_note,
+        )
+
+    def run_labeled(
+        self,
+        cluster: Cluster,
+        data,
+        query,
+        collect_embeddings: bool = True,
+        limit: int | None = None,
+    ) -> RunResult:
+        """Run a labeled query (``LabeledGraph`` + ``LabeledPattern``).
+
+        Only engines registered with ``supports_labels=True`` implement
+        this; the session facade checks the capability before calling.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support labeled queries"
+        )
 
     def run(
         self,

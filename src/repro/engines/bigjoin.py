@@ -100,6 +100,14 @@ class BigJoinEngine(EnumerationEngine):
     """Worst-case-optimal vertex-at-a-time distributed join."""
 
     name = "BigJoin"
+    explain_note = (
+        "worst-case-optimal join: one distributed extension round per "
+        "query vertex in the extension order (extras), intersecting the "
+        "matched neighbours' adjacency lists"
+    )
+
+    def _explain_extras(self, pattern: Pattern) -> dict:
+        return {"extension_order": list(compute_matching_order(pattern))}
 
     def _execute(
         self,

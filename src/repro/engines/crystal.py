@@ -278,9 +278,22 @@ class CrystalEngine(EnumerationEngine):
     """
 
     name = "Crystal"
+    explain_note = (
+        "enumerates the core (a vertex cover, see extras) distributedly, "
+        "then attaches each bud's candidate set from the precomputed "
+        "clique index without materialising the cross product"
+    )
 
     def __init__(self, index: CliqueIndex | None = None):
         self._index = index
+
+    def _explain_extras(self, pattern: Pattern) -> dict:
+        core, buds = choose_core(pattern)
+        return {
+            "core": sorted(core),
+            "buds": list(buds),
+            "index_prebuilt": self._index is not None,
+        }
 
     # ------------------------------------------------------------------
     def _core_embeddings(

@@ -108,6 +108,14 @@ class PSgLEngine(EnumerationEngine):
     """Parallel subgraph listing via per-superstep partial-match shuffling."""
 
     name = "PSgL"
+    explain_note = (
+        "Pregel-style: one superstep per query vertex in the expansion "
+        "order (extras), shuffling partial matches to each candidate's "
+        "owner machine"
+    )
+
+    def _explain_extras(self, pattern: Pattern) -> dict:
+        return {"expansion_order": list(compute_matching_order(pattern))}
 
     def _execute(
         self,

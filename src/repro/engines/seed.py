@@ -99,6 +99,18 @@ class SEEDEngine(EnumerationEngine):
     """MapReduce joins over star + clique decomposition units."""
 
     name = "SEED"
+    explain_note = (
+        "bushy MapReduce join over star and clique units (see extras for "
+        "the SEED units actually joined)"
+    )
+
+    def _explain_extras(self, pattern: Pattern) -> dict:
+        return {
+            "join_units": [
+                {"kind": u.kind, "vertices": list(u.vertices)}
+                for u in seed_decomposition(pattern)
+            ],
+        }
 
     def _execute(
         self,

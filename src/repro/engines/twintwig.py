@@ -134,9 +134,24 @@ class TwinTwigEngine(EnumerationEngine):
     """
 
     name = "TwinTwig"
+    explain_note = (
+        "left-deep MapReduce join over <=2-edge star units (the plan "
+        "above is the paper's decomposition view; see extras for the "
+        "twin-twig units actually joined)"
+    )
 
     def __init__(self, cost_oriented: bool = False):
         self._cost_oriented = cost_oriented
+
+    def _explain_extras(self, pattern: Pattern) -> dict:
+        units = twintwig_decomposition(pattern)
+        return {
+            "join_units": [
+                {"kind": u.kind, "vertices": list(u.vertices)}
+                for u in units
+            ],
+            "cost_oriented": self._cost_oriented,
+        }
 
     def _execute(
         self,

@@ -53,6 +53,16 @@ class LabeledPattern:
         """Label tuple indexed by query vertex id."""
         return self._labels
 
+    @property
+    def name(self) -> str:
+        """The underlying pattern's name (labels shown by ``repr``)."""
+        return self._pattern.name
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of query vertices."""
+        return self._pattern.num_vertices
+
     def label(self, u: int) -> int:
         """Label of query vertex ``u``."""
         return self._labels[u]
@@ -60,6 +70,26 @@ class LabeledPattern:
     def neighborhood_label_frequency(self, u: int) -> Counter[int]:
         """NLF of query vertex ``u``."""
         return Counter(self._labels[w] for w in self._pattern.adj(u))
+
+    def to_dsl(self) -> str:
+        """Labeled DSL text (``repro.pattern`` inverts)."""
+        from repro.query.dsl import format_pattern
+
+        return format_pattern(self._pattern, self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledPattern):
+            return NotImplemented
+        return (
+            self._pattern == other._pattern
+            and self._labels == other._labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._pattern, self._labels))
+
+    def __str__(self) -> str:
+        return self.to_dsl()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LabeledPattern({self._pattern.name}, labels={self._labels})"

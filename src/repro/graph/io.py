@@ -88,9 +88,12 @@ def load_edge_list(
 
 def save_binary(graph: Graph, path: str | os.PathLike) -> int:
     """Persist the CSR arrays as a compressed ``.npz``; returns file size."""
-    np.savez_compressed(path, indptr=graph.indptr, indices=graph.indices)
-    actual = str(path) if str(path).endswith(".npz") else f"{path}.npz"
-    return os.path.getsize(actual)
+    # A file handle stops np.savez appending ".npz" when the caller's
+    # suffix differs in case (saving "ROAD.NPZ" must not create
+    # "ROAD.NPZ.npz" — loaders dispatch case-insensitively).
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, indptr=graph.indptr, indices=graph.indices)
+    return os.path.getsize(path)
 
 
 def load_binary(path: str | os.PathLike) -> Graph:

@@ -1,10 +1,24 @@
-"""Query patterns, symmetry breaking, and execution plans (paper Sec. 2-4)."""
+"""Query patterns, DSL, symmetry breaking, execution plans and explanation
+(paper Sec. 2-4 plus the declarative front door)."""
 
 from repro.query.pattern import Pattern
+from repro.query.dsl import (
+    PatternBuilder,
+    PatternSyntaxError,
+    format_pattern,
+    parse_pattern,
+)
+from repro.query.explain import (
+    PlanAlternative,
+    QueryExplanation,
+    RoundExplanation,
+    explain_query,
+)
 from repro.query.patterns import (
     CLIQUE_QUERIES,
     PAPER_QUERIES,
     clique_query,
+    find_named,
     named_patterns,
     paper_query,
 )
@@ -33,10 +47,19 @@ from repro.query.plan import (
 
 __all__ = [
     "Pattern",
+    "PatternBuilder",
+    "PatternSyntaxError",
+    "PlanAlternative",
+    "QueryExplanation",
+    "RoundExplanation",
+    "explain_query",
+    "format_pattern",
+    "parse_pattern",
     "PAPER_QUERIES",
     "CLIQUE_QUERIES",
     "paper_query",
     "clique_query",
+    "find_named",
     "named_patterns",
     "automorphisms",
     "orbits",

@@ -130,6 +130,52 @@ class Pattern:
         edges = [(mapping[u], mapping[v]) for u, v in self._edges]
         return Pattern(self.num_vertices, edges, name=self._name)
 
+    def copy_with_name(self, name: str | None) -> "Pattern":
+        """The same structure under a different (or cleared) name.
+
+        Equality and hashing are structural, so the copy compares equal to
+        the original — the name is purely cosmetic.
+        """
+        return Pattern(self.num_vertices, self._edges, name=name)
+
+    # -- canonicalization ----------------------------------------------
+    def automorphism_group(self) -> list[tuple[int, ...]]:
+        """All automorphisms as tuples ``sigma[u] = image``.
+
+        Delegates to :func:`repro.query.symmetry.automorphisms`; exposed
+        here so DSL-built patterns can be deduplicated and symmetry-broken
+        without reaching into the symmetry module.
+        """
+        from repro.query.symmetry import automorphisms
+
+        return automorphisms(self)
+
+    def canonical_form(self) -> "Pattern":
+        """An isomorphic relabeling that is identical for isomorphic inputs.
+
+        Two patterns are isomorphic iff their canonical forms have equal
+        edge sets (i.e. compare ``==``).  The canonical vertex order sorts
+        by a degree invariant first, then minimises the adjacency encoding
+        by backtracking — exact, and fast for query-sized graphs.
+        """
+        perm = _canonical_permutation(self)
+        return self.relabel(dict(enumerate(perm)))
+
+    def canonical_key(self) -> tuple:
+        """Hashable isomorphism-class key (equal iff patterns isomorphic)."""
+        form = self.canonical_form()
+        return (form.num_vertices, form._edges)
+
+    def isomorphic_to(self, other: "Pattern") -> bool:
+        """True iff ``self`` and ``other`` are isomorphic."""
+        return self.canonical_key() == other.canonical_key()
+
+    def to_dsl(self) -> str:
+        """The pattern in the edge-list DSL (``repro.pattern`` inverts)."""
+        from repro.query.dsl import format_pattern
+
+        return format_pattern(self)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Pattern):
             return NotImplemented
@@ -141,5 +187,68 @@ class Pattern:
     def __hash__(self) -> int:
         return hash((self.num_vertices, self._edges))
 
+    def __str__(self) -> str:
+        return self.to_dsl()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Pattern({self.name}, |V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def _canonical_permutation(pattern: "Pattern") -> list[int]:
+    """``perm[u]`` = canonical id of vertex ``u``.
+
+    Canonical position ``i`` must host a vertex of the ``i``-th smallest
+    invariant class (degree, then sorted neighbour degrees); within that
+    constraint the sequence of lower-adjacency bitmasks (``row[i]`` has bit
+    ``j`` set iff canonical vertices ``i`` and ``j < i`` are adjacent) is
+    minimised lexicographically by backtracking with prefix pruning.
+    """
+    n = pattern.num_vertices
+    if n == 0:
+        return []
+    invariant = {
+        u: (
+            pattern.degree(u),
+            tuple(sorted(pattern.degree(w) for w in pattern.adj(u))),
+        )
+        for u in pattern.vertices()
+    }
+    # The invariant each canonical position must carry, smallest first.
+    slots = sorted(invariant[u] for u in pattern.vertices())
+    best_rows: list[int] | None = None
+    best_placement: list[int] = []
+    placement: list[int] = []
+    rows: list[int] = []
+    used = [False] * n
+
+    def place(i: int) -> None:
+        nonlocal best_rows, best_placement
+        if i == n:
+            if best_rows is None or rows < best_rows:
+                best_rows = list(rows)
+                best_placement = list(placement)
+            return
+        for v in range(n):
+            if used[v] or invariant[v] != slots[i]:
+                continue
+            row = 0
+            for j, w in enumerate(placement):
+                if pattern.has_edge(v, w):
+                    row |= 1 << j
+            if best_rows is not None:
+                prefix = best_rows[: i + 1]
+                if rows + [row] > prefix:
+                    continue
+            used[v] = True
+            placement.append(v)
+            rows.append(row)
+            place(i + 1)
+            rows.pop()
+            placement.pop()
+            used[v] = False
+
+    place(0)
+    perm = [0] * n
+    for position, vertex in enumerate(best_placement):
+        perm[vertex] = position
+    return perm

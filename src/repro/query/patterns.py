@@ -176,7 +176,16 @@ def clique_query(name: str) -> Pattern:
 
 
 def named_patterns() -> dict[str, Pattern]:
-    """All registered patterns (paper queries, clique queries, motifs)."""
+    """All registered patterns, keyed by every accepted name.
+
+    The paper's opaque ids (``q4``, ``cq1``) and the patterns' human
+    names (``house``, ``k4``) are both keys, mapping to the same objects
+    — ``named_patterns()["house"] == named_patterns()["q4"]``.
+
+    >>> from repro.query.patterns import named_patterns
+    >>> named_patterns()["house"] is named_patterns()["q4"]
+    True
+    """
     extra = {
         "triangle": triangle(),
         "path3": path(3),
@@ -185,4 +194,37 @@ def named_patterns() -> dict[str, Pattern]:
         "k5": clique(5),
         "running_example": running_example(),
     }
-    return {**PAPER_QUERIES, **CLIQUE_QUERIES, **extra}
+    catalogue = {**PAPER_QUERIES, **CLIQUE_QUERIES, **extra}
+    # Human aliases: each paper/clique query is also reachable under its
+    # pattern's structural name ("q4" <-> "house").
+    for queries in (PAPER_QUERIES, CLIQUE_QUERIES):
+        for query in queries.values():
+            catalogue.setdefault(query.name, query)
+    return catalogue
+
+
+#: Lazily built canonical-key -> preferred registered name map.
+_CANONICAL_NAMES: dict[tuple, str] | None = None
+
+
+def find_named(pattern: Pattern) -> str | None:
+    """The registered name of the pattern isomorphic to ``pattern``, if any.
+
+    Matching is by canonical form (:meth:`Pattern.canonical_key`), so a
+    DSL-built or generated pattern dedupes against the catalogue no matter
+    how its vertices are numbered.  Paper ids win over human aliases when
+    both name the same structure.
+
+    >>> from repro.query.patterns import find_named, house
+    >>> find_named(house().relabel({0: 4, 1: 3, 2: 2, 3: 1, 4: 0}))
+    'q4'
+    """
+    global _CANONICAL_NAMES
+    if _CANONICAL_NAMES is None:
+        mapping: dict[tuple, str] = {}
+        # Reversed insertion order, so earlier (paper-id) keys overwrite
+        # later aliases and win the lookup.
+        for name, query in reversed(list(named_patterns().items())):
+            mapping[query.canonical_key()] = name
+        _CANONICAL_NAMES = mapping
+    return _CANONICAL_NAMES.get(pattern.canonical_key())

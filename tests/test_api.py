@@ -496,3 +496,202 @@ class TestResultSerialization:
         assert result.failed
         assert result.counters, "failure path must keep per-machine stats"
         assert RunResult.from_dict(result.to_dict()) == result
+
+
+# ----------------------------------------------------------------------
+# The declarative query surface: DSL queries, labeled front door, errors
+# ----------------------------------------------------------------------
+class TestQuerySurface:
+    def test_dsl_string_through_session(self, graph):
+        direct = (
+            repro.open(graph).with_cluster(machines=3)
+            .engine("single").query("triangle").run()
+        )
+        via_dsl = (
+            repro.open(graph).with_cluster(machines=3)
+            .engine("single").query("a-b, b-c, c-a").run()
+        )
+        assert via_dsl.embedding_count == direct.embedding_count
+
+    def test_pattern_object_and_alias_names(self, graph):
+        from repro.query.patterns import house
+
+        session = repro.open(graph).with_cluster(machines=3).engine("rads")
+        by_alias = session.query("HOUSE").run()
+        by_object = session.query(house()).run()
+        assert by_alias == by_object
+
+    def test_unknown_query_suggests_near_misses(self, graph):
+        with pytest.raises(UnknownQueryError) as excinfo:
+            repro.open(graph).query("q44")
+        message = str(excinfo.value)
+        assert "did you mean" in message and "'q4'" in message
+        assert "a-b, b-c, c-a" in message  # the DSL hint
+
+    def test_bad_dsl_reports_parse_error(self, graph):
+        with pytest.raises(UnknownQueryError) as excinfo:
+            repro.open(graph).query("a-b, c-d")
+        assert "not connected" in str(excinfo.value)
+
+    def test_unknown_engine_suggests_near_misses(self, graph):
+        with pytest.raises(UnknownEngineError) as excinfo:
+            repro.open(graph).engine("radss")
+        assert "did you mean 'RADS'" in str(excinfo.value)
+
+
+class TestLabeledSession:
+    """Satellite: the labeled path end-to-end through the front door."""
+
+    @pytest.fixture(scope="class")
+    def labeled_graph(self, graph):
+        from repro.graph.labeled import label_randomly
+
+        return label_randomly(graph, 3, seed=0)
+
+    @pytest.mark.parametrize("dsl,labels", [
+        ("a:0-b:1, b-c:0, c-a", (0, 1, 0)),
+        ("a:2-b:2, b-c:2, c-a", (2, 2, 2)),
+        ("hub:0-x:1, hub-y:1, hub-z:2", (0, 1, 1, 2)),
+    ])
+    def test_counts_match_labeled_embeddings(
+        self, labeled_graph, dsl, labels
+    ):
+        from repro.enumeration.labeled import (
+            LabeledPattern,
+            labeled_embeddings,
+        )
+
+        result = (
+            repro.open(labeled_graph)
+            .engine("single").query(dsl).run(collect=True)
+        )
+        resolved = repro.resolve_query(dsl)
+        assert resolved.labels == labels
+        reference = labeled_embeddings(
+            labeled_graph, LabeledPattern(resolved.pattern, labels)
+        )
+        assert result.embedding_count == len(reference)
+        assert sorted(result.embeddings) == sorted(reference)
+
+    def test_labeled_pattern_object_through_session(self, labeled_graph):
+        from repro.enumeration.labeled import (
+            LabeledPattern,
+            labeled_embeddings,
+        )
+        from repro.query.patterns import triangle
+
+        query = LabeledPattern(triangle(), (0, 0, 1))
+        result = repro.open(labeled_graph).engine("oracle").query(query).run()
+        assert result.embedding_count == len(
+            labeled_embeddings(labeled_graph, query)
+        )
+
+    def test_limit_caps_labeled_enumeration(self, labeled_graph):
+        result = (
+            repro.open(labeled_graph).engine("single")
+            .query("a:0-b:0").run(collect=True, limit=2)
+        )
+        assert result.embedding_count == 2 and len(result.embeddings) == 2
+
+    def test_capability_enforced_both_selection_orders(self, labeled_graph):
+        from repro.api import CapabilityError
+
+        with pytest.raises(CapabilityError, match="Single"):
+            repro.open(labeled_graph).engine("rads").query("a:0-b:1")
+        with pytest.raises(CapabilityError, match="labeled"):
+            repro.open(labeled_graph).query("a:0-b:1").engine("rads")
+
+    def test_labeled_query_needs_labeled_graph(self, graph):
+        with pytest.raises(ValueError, match="LabeledGraph"):
+            repro.open(graph).query("a:0-b:1")
+
+    def test_labeled_graph_session_still_runs_unlabeled(self, labeled_graph):
+        result = (
+            repro.open(labeled_graph).with_cluster(machines=3)
+            .engine("rads").query("q2").run()
+        )
+        assert not result.failed
+
+    def test_labeled_queries_not_gridable(self, labeled_graph):
+        session = repro.open(labeled_graph).engine("single").query("a:0-b:1")
+        with pytest.raises(ValueError, match="grid"):
+            session.run_grid()
+
+
+class TestLoadGraphSuffix:
+    """Satellite: extension dispatch is case-insensitive."""
+
+    def test_uppercase_npz_round_trips(self, graph, tmp_path):
+        from repro.api import load_graph
+        from repro.graph.io import save_binary
+
+        path = tmp_path / "ROAD.NPZ"
+        save_binary(graph, str(path))
+        assert load_graph(path) == graph
+        assert repro.open(str(path)).graph == graph
+
+    def test_mixed_case_edges(self, graph, tmp_path):
+        from repro.api import load_graph
+        from repro.graph.io import save_edge_list
+
+        path = tmp_path / "g.Edges"
+        save_edge_list(graph, str(path))
+        assert load_graph(path) == graph
+
+    def test_unknown_suffix_names_offender(self, tmp_path):
+        from repro.api import load_graph
+
+        with pytest.raises(ValueError, match=r"\.graphml"):
+            load_graph(tmp_path / "g.graphml")
+
+
+class TestReviewRegressions:
+    """Fixes from the PR-3 review: failure paths and selection atomicity."""
+
+    def test_labeled_oom_returns_failed_result(self):
+        from repro.graph.labeled import label_randomly
+
+        dense = label_randomly(erdos_renyi(400, 0.2, seed=5), 2, seed=0)
+        result = (
+            repro.open(dense)
+            .with_cluster(machines=2, memory_mb=0.001)
+            .engine("single").query("a:0-b:0, b-c:0, c-a").run()
+        )
+        assert result.failed and "OOM" in result.failure
+        assert result.embedding_count == 0
+        assert RunResult.from_dict(result.to_dict()) == result
+
+    def test_rejected_engine_keeps_previous_selection(self, graph):
+        from repro.api import CapabilityError
+        from repro.graph.labeled import label_randomly
+
+        session = repro.open(label_randomly(graph, 2, seed=0))
+        session.engine("single").query("a:0-b:1")
+        before = session.run().embedding_count
+        with pytest.raises(CapabilityError):
+            session.engine("rads")
+        # The session still runs as Single, and a fresh labeled query is
+        # not spuriously rejected against the failed selection.
+        session.query("a:1-b:0")
+        result = session.run()
+        assert result.engine == "Single"
+        session.query("a:0-b:1")
+        assert session.run().embedding_count == before
+
+    def test_rejected_labeled_query_keeps_previous_selection(self, graph):
+        from repro.api import CapabilityError
+        from repro.graph.labeled import label_randomly
+
+        session = repro.open(label_randomly(graph, 2, seed=0))
+        session.with_cluster(machines=2).engine("rads").query("q2")
+        with pytest.raises(CapabilityError):
+            session.query("a:0-b:1")
+        result = session.run()  # still the unlabeled q2 selection
+        assert result.engine == "RADS"
+        assert result.pattern_name == "tailed_triangle"
+
+    def test_mixed_int_and_symbolic_labels_do_not_collide(self):
+        lp = repro.pattern("a:0-b:person, b-c:0, c-a")
+        assert lp.labels == (0, 1, 0)
+        lp2 = repro.pattern("a:1-b:x, b-c:y")
+        assert lp2.labels == (1, 0, 2)

@@ -270,3 +270,88 @@ class TestJsonOutput:
         assert payload["failed"] is True
         assert payload["failure"]
         assert payload["counters"], "OOM runs keep per-machine counters"
+
+
+class TestExplainCommand:
+    def test_explain_plain(self, capsys):
+        assert main(["explain", "--query", "q4"]) == 0
+        out = capsys.readouterr().out
+        for fragment in ("house via RADS", "round 0", "matching order:",
+                         "symmetry breaking:", "runner-up"):
+            assert fragment in out
+
+    def test_explain_json(self, capsys):
+        import json
+
+        assert main(["explain", "--query", "q4", "--engine", "crystal",
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["engine"] == "Crystal"
+        assert record["pattern_name"] == "house"
+        assert record["rounds"] and record["matching_order"]
+        assert record["symmetry_conditions"] == [[1, 2]]
+        assert "core" in record["extras"]
+
+    def test_explain_with_graph_estimates(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["explain", "--query", "q4", "--graph", path]) == 0
+        assert "expansion" in capsys.readouterr().out
+
+    def test_explain_dsl_query(self, capsys):
+        assert main(["explain", "--query", "a-b, b-c, c-a"]) == 0
+        assert "triangle" in capsys.readouterr().out
+
+    def test_explain_bad_query_and_engine(self):
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(["explain", "--query", "q44"])
+        with pytest.raises(SystemExit, match="did you mean"):
+            main(["explain", "--query", "q4", "--engine", "radss"])
+
+    def test_enumerate_accepts_dsl(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main([
+            "enumerate", "--graph", path, "--query", "a-b-c-a",
+            "--engine", "single", "--machines", "2",
+        ]) == 0
+        assert "triangle" in capsys.readouterr().out
+
+    def test_labeled_accepts_dsl_labels(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main([
+            "labeled", "--graph", path,
+            "--query", "a:0-b:1, b-c:0, c-a", "--num-labels", "3",
+        ]) == 0
+        assert "labels [0, 1, 0]" in capsys.readouterr().out
+
+    def test_labeled_rejects_double_label_source(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit, match="already carries labels"):
+            main([
+                "labeled", "--graph", path, "--query", "a:0-b:1",
+                "--query-labels", "0,1",
+            ])
+
+    def test_labeled_requires_some_labels(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit, match="query-labels is required"):
+            main(["labeled", "--graph", path, "--query", "q2"])
+
+    def test_uppercase_graph_suffix(self, tmp_path, capsys):
+        out = str(tmp_path / "ROAD.NPZ")
+        assert main([
+            "generate", "--dataset", "roadnet", "--scale", "0.05",
+            "--out", out,
+        ]) == 0
+        assert main([
+            "enumerate", "--graph", out, "--query", "q2",
+            "--engine", "rads", "--machines", "2",
+        ]) == 0
+        assert "RADS" in capsys.readouterr().out
+
+    def test_enumerate_labeled_query_is_clean_error(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit, match="LabeledGraph"):
+            main([
+                "enumerate", "--graph", path,
+                "--query", "a:0-b:1, b-c:0, c-a", "--engine", "single",
+            ])
