@@ -1,0 +1,130 @@
+"""Extension benchmark: query-service throughput with and without the cache.
+
+Drives the :class:`repro.service.QueryScheduler` with a realistic serving
+mix — a small set of distinct queries, each requested many times (the
+skew that makes result caching worth building) — and reports queries/sec
+for three configurations:
+
+- ``no-cache``: every request pays full enumeration,
+- ``cache``: repeats and isomorphic rewrites are served from the
+  canonical-pattern :class:`~repro.service.ResultCache`,
+- ``cache+iso``: the same workload where every repeat is an isomorphic
+  *rewrite* of the original spelling (exercising the remap path).
+
+The absolute numbers are simulation-host-dependent; the point of the
+table is the cache speedup factor and the hit counters.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import run_once
+
+import repro
+from repro.api import RunConfig
+from repro.graph import powerlaw_cluster
+from repro.service import QueryScheduler
+
+#: Distinct queries in the mix (names from the paper catalogue).
+QUERIES = ("triangle", "q1", "q2", "q3")
+#: Total requests (each query repeated REQUESTS / len(QUERIES) times).
+REQUESTS = 48
+THREADS = 4
+
+
+def _rewrite(pattern, seed):
+    perm = list(range(pattern.num_vertices))
+    random.Random(seed).shuffle(perm)
+    return pattern.relabel(dict(enumerate(perm))).copy_with_name(
+        f"{pattern.name}~{seed}"
+    )
+
+
+def _workload(isomorphic_rewrites: bool):
+    """REQUESTS patterns: each catalogue query repeated round-robin."""
+    patterns = [repro.resolve_query(name) for name in QUERIES]
+    requests = []
+    for i in range(REQUESTS):
+        pattern = patterns[i % len(patterns)]
+        if isomorphic_rewrites and i >= len(patterns):
+            pattern = _rewrite(pattern, seed=i)
+        requests.append(pattern)
+    return requests
+
+
+def _drive(graph, *, cache, isomorphic_rewrites=False):
+    config = RunConfig(machines=4)
+    requests = _workload(isomorphic_rewrites)
+    with QueryScheduler(
+        graph, config, threads=THREADS, cache=cache
+    ) as scheduler:
+        start = time.perf_counter()
+        # First wave: the distinct queries, run to completion — so the
+        # burst of repeats below actually exercises the cache instead of
+        # deduplicating onto still-in-flight executions.
+        warm = [
+            scheduler.submit(pattern, "rads")
+            for pattern in requests[: len(QUERIES)]
+        ]
+        results = [ticket.result(600) for ticket in warm]
+        tickets = [
+            scheduler.submit(pattern, "rads")
+            for pattern in requests[len(QUERIES):]
+        ]
+        results += [ticket.result(600) for ticket in tickets]
+        elapsed = time.perf_counter() - start
+        stats = scheduler.stats()
+    assert len({r.embedding_count for r in results}) == len(QUERIES)
+    return elapsed, stats
+
+
+def test_service_throughput(benchmark, report):
+    graph = powerlaw_cluster(400, edges_per_vertex=4, seed=11)
+
+    def experiment():
+        rows = []
+        for label, cache, iso in (
+            ("no-cache", False, False),
+            ("cache", None, False),
+            ("cache+iso", None, True),
+        ):
+            elapsed, stats = _drive(
+                graph, cache=cache, isomorphic_rewrites=iso
+            )
+            cache_stats = stats["cache"] or {"hits": 0, "misses": REQUESTS}
+            rows.append((
+                label,
+                REQUESTS / elapsed,
+                elapsed,
+                cache_stats["hits"],
+                cache_stats["misses"],
+                stats["deduped"],
+            ))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        "Service throughput — powerlaw |V|=400, 4 machines, "
+        f"{THREADS} threads, {REQUESTS} requests over {len(QUERIES)} "
+        "distinct queries",
+        f"{'config':>10} {'q/s':>10} {'elapsed':>9} {'hits':>6} "
+        f"{'misses':>7} {'dedup':>6}",
+    ]
+    for label, qps, elapsed, hits, misses, deduped in rows:
+        lines.append(
+            f"{label:>10} {qps:>10.1f} {elapsed:>8.2f}s {hits:>6} "
+            f"{misses:>7} {deduped:>6}"
+        )
+    baseline = rows[0][1]
+    for label, qps, *_ in rows[1:]:
+        lines.append(f"{label} speedup over no-cache: {qps / baseline:.1f}x")
+    report("ext_service_throughput", "\n".join(lines))
+
+    # The cache must actually absorb the repeats...
+    assert rows[1][3] >= REQUESTS - len(QUERIES) - rows[1][5]
+    # ...and a served workload with repeats must not be slower than
+    # re-enumerating everything (generous bound: simulation noise).
+    assert rows[1][1] >= rows[0][1]

@@ -53,6 +53,17 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "CapabilityError": ("repro.api.registry", "CapabilityError"),
     "write_results_jsonl": ("repro.api.results", "write_results_jsonl"),
     "read_results_jsonl": ("repro.api.results", "read_results_jsonl"),
+    "read_records_jsonl": ("repro.api.results", "read_records_jsonl"),
+    "append_record_jsonl": ("repro.api.results", "append_record_jsonl"),
+    # -- the query service layer ---------------------------------------
+    "connect": ("repro.service.client", "connect"),
+    "ServiceClient": ("repro.service.client", "ServiceClient"),
+    "ServiceError": ("repro.service.client", "ServiceError"),
+    "QueryScheduler": ("repro.service.scheduler", "QueryScheduler"),
+    "QueryServer": ("repro.service.server", "QueryServer"),
+    "ResultCache": ("repro.service.cache", "ResultCache"),
+    "ServiceTimeout": ("repro.service.scheduler", "ServiceTimeout"),
+    "AdmissionError": ("repro.service.scheduler", "AdmissionError"),
     # -- the declarative query surface ---------------------------------
     "pattern": ("repro.query.dsl", "parse_pattern"),
     "parse_pattern": ("repro.query.dsl", "parse_pattern"),

@@ -37,8 +37,12 @@ from repro.api.registry import (
     register_engine,
 )
 from repro.api.results import (
+    append_record_jsonl,
     grid_results,
+    read_records_jsonl,
     read_results_jsonl,
+    record_from_dict,
+    record_to_dict,
     result_from_json,
     result_to_json,
     write_results_jsonl,
@@ -76,6 +80,7 @@ __all__ = [
     "Session",
     "UnknownEngineError",
     "UnknownQueryError",
+    "append_record_jsonl",
     "default_registry",
     "explain_query",
     "grid_results",
@@ -84,7 +89,10 @@ __all__ = [
     "open_session",
     "parse_pattern",
     "pattern",
+    "read_records_jsonl",
     "read_results_jsonl",
+    "record_from_dict",
+    "record_to_dict",
     "register_engine",
     "resolve_pattern",
     "resolve_query",

@@ -25,6 +25,7 @@ Third-party engines plug in with the decorator::
 from __future__ import annotations
 
 import difflib
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
@@ -141,54 +142,70 @@ class EngineSpec:
 
 
 class EngineRegistry:
-    """Case-insensitive name/alias -> :class:`EngineSpec` mapping."""
+    """Case-insensitive name/alias -> :class:`EngineSpec` mapping.
+
+    Safe for concurrent use: registration and every lookup/iteration
+    path hold an internal lock (specs themselves are frozen dataclasses),
+    so the query service's worker threads — and any other concurrent
+    ``Session`` users — can resolve engines while a plugin registers.
+    """
 
     def __init__(self) -> None:
         self._specs: dict[str, EngineSpec] = {}
         self._lookup: dict[str, str] = {}
+        self._lock = threading.RLock()
 
     # -- registration --------------------------------------------------
     def register(self, spec: EngineSpec) -> EngineSpec:
         """Add ``spec``; canonical name and aliases must be unclaimed."""
         keys = [spec.name.lower(), *(a.lower() for a in spec.aliases)]
-        for key in keys:
-            if key in self._lookup:
-                raise ValueError(
-                    f"engine name {key!r} already registered "
-                    f"(by {self._lookup[key]!r})"
-                )
-        self._specs[spec.name] = spec
-        for key in keys:
-            self._lookup[key] = spec.name
+        with self._lock:
+            for key in keys:
+                if key in self._lookup:
+                    raise ValueError(
+                        f"engine name {key!r} already registered "
+                        f"(by {self._lookup[key]!r})"
+                    )
+            self._specs[spec.name] = spec
+            for key in keys:
+                self._lookup[key] = spec.name
         return spec
 
     # -- lookup --------------------------------------------------------
     def resolve(self, name: str) -> EngineSpec:
         """Spec for ``name`` (canonical or alias, any case)."""
-        canonical = self._lookup.get(str(name).lower())
-        if canonical is None:
-            raise UnknownEngineError(str(name), self)
-        return self._specs[canonical]
+        with self._lock:
+            canonical = self._lookup.get(str(name).lower())
+            if canonical is None:
+                raise UnknownEngineError(str(name), self)
+            return self._specs[canonical]
 
     def __contains__(self, name: object) -> bool:
-        return str(name).lower() in self._lookup
+        with self._lock:
+            return str(name).lower() in self._lookup
 
     def __iter__(self) -> Iterator[EngineSpec]:
-        return iter(self._specs.values())
+        # Iterate a snapshot so concurrent registration cannot blow up a
+        # caller mid-loop (dict mutation during iteration).
+        with self._lock:
+            return iter(list(self._specs.values()))
 
     def __len__(self) -> int:
-        return len(self._specs)
+        with self._lock:
+            return len(self._specs)
 
     def names(self) -> list[str]:
         """Canonical names in registration order."""
-        return list(self._specs)
+        with self._lock:
+            return list(self._specs)
 
     def known_names(self) -> list[str]:
         """Every accepted lookup key (canonical names and aliases)."""
         names: list[str] = []
-        for spec in self._specs.values():
-            names.append(spec.name)
-            names.extend(spec.aliases)
+        with self._lock:
+            for spec in self._specs.values():
+                names.append(spec.name)
+                names.extend(spec.aliases)
         return names
 
     def require(self, name: str, **capabilities: Any) -> EngineSpec:
@@ -215,7 +232,7 @@ class EngineRegistry:
         """
         return [
             spec
-            for spec in self._specs.values()
+            for spec in self
             if all(
                 getattr(spec, key) == want
                 for key, want in capabilities.items()
@@ -280,6 +297,7 @@ class EngineRegistry:
 # The default registry and the plug-in decorator
 # ----------------------------------------------------------------------
 _default_registry: EngineRegistry | None = None
+_default_registry_lock = threading.Lock()
 
 
 def register_engine(
@@ -453,10 +471,17 @@ def _register_builtins(reg: EngineRegistry) -> None:
 
 
 def default_registry() -> EngineRegistry:
-    """The process-wide registry, populated with built-ins on first use."""
+    """The process-wide registry, populated with built-ins on first use.
+
+    First use may happen on any thread (e.g. a query-service worker), so
+    creation is guarded: exactly one caller populates the built-ins and
+    everyone else sees the finished registry.
+    """
     global _default_registry
     if _default_registry is None:
-        reg = EngineRegistry()
-        _register_builtins(reg)
-        _default_registry = reg
+        with _default_registry_lock:
+            if _default_registry is None:
+                reg = EngineRegistry()
+                _register_builtins(reg)
+                _default_registry = reg
     return _default_registry

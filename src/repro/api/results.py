@@ -1,21 +1,29 @@
-"""Serializable run results: JSON/JSONL round-trips for RunResult.
+"""Serializable run results: JSON/JSONL round-trips for result records.
 
-The dict form lives on :meth:`repro.engines.base.RunResult.to_dict` /
+The dict forms live on :meth:`repro.engines.base.RunResult.to_dict` /
+``from_dict`` and :meth:`repro.query.explain.QueryExplanation.to_dict` /
 ``from_dict``; this module adds the file-level helpers used by the CLI's
-``--json`` output and by provenance-style tooling that wants to archive
-whole experiment grids as one record per line.
+``--json`` output, by provenance-style tooling that archives whole
+experiment grids as one record per line, and by the query service's
+request log (:mod:`repro.service.server`), which appends every served
+record and replays through :func:`read_records_jsonl`.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.engines.base import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.bench.harness import GridResult
+    from repro.query.explain import QueryExplanation
+
+    #: Records these helpers read and write (a real alias so checkers
+    #: and get_type_hints can resolve the annotations below).
+    Record = RunResult | QueryExplanation
 
 
 def result_to_json(result: RunResult, *, indent: int | None = None) -> str:
@@ -28,28 +36,90 @@ def result_from_json(document: str) -> RunResult:
     return RunResult.from_dict(json.loads(document))
 
 
+def record_to_dict(record: "Record | dict[str, Any]") -> dict[str, Any]:
+    """The dict form of a RunResult / QueryExplanation (dicts pass through)."""
+    if isinstance(record, dict):
+        return record
+    return record.to_dict()
+
+
+def record_from_dict(data: dict[str, Any]) -> "Record":
+    """Rebuild a record from its dict form, dispatching on the schema.
+
+    ``QueryExplanation`` dicts are recognised by their ``rounds`` /
+    ``matching_order`` keys, ``RunResult`` dicts by ``embedding_count``;
+    anything else raises ``ValueError`` (a record log should only contain
+    the two).
+    """
+    if "rounds" in data and "matching_order" in data:
+        from repro.query.explain import QueryExplanation
+
+        return QueryExplanation.from_dict(data)
+    if "embedding_count" in data:
+        return RunResult.from_dict(data)
+    raise ValueError(
+        f"unrecognised record schema (keys: {sorted(data)[:8]}); expected "
+        f"RunResult.to_dict() or QueryExplanation.to_dict() output"
+    )
+
+
 def write_results_jsonl(
-    results: Iterable[RunResult], path: str | Path
+    results: "Iterable[Record | dict[str, Any]]",
+    path: str | Path,
+    *,
+    append: bool = False,
 ) -> int:
-    """Write results to ``path`` as JSON Lines; returns the line count."""
+    """Write records to ``path`` as JSON Lines; returns the line count.
+
+    Accepts :class:`RunResult`, :class:`QueryExplanation` or ready dicts
+    (mixed freely).  ``append=True`` adds to an existing log instead of
+    truncating — the mode the query server's request log uses, so a
+    restarted server keeps extending one replayable file.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with open(path, "a" if append else "w", encoding="utf-8") as handle:
         for result in results:
-            handle.write(result_to_json(result))
+            handle.write(
+                json.dumps(record_to_dict(result), sort_keys=True)
+            )
             handle.write("\n")
             count += 1
     return count
 
 
+def append_record_jsonl(
+    record: "Record | dict[str, Any]", path: str | Path
+) -> None:
+    """Append one record to a JSONL log (creating the file on first use)."""
+    write_results_jsonl([record], path, append=True)
+
+
 def read_results_jsonl(path: str | Path) -> list[RunResult]:
-    """Read back a JSONL file written by :func:`write_results_jsonl`."""
-    results = []
+    """Read back a RunResult-only JSONL file (see :func:`read_records_jsonl`)."""
+    return [
+        RunResult.from_dict(data) for data in _read_dicts_jsonl(path)
+    ]
+
+
+def read_records_jsonl(path: str | Path) -> "list[Record]":
+    """Read back a mixed JSONL log of results and explanations.
+
+    The inverse of :func:`write_results_jsonl` /
+    :func:`append_record_jsonl`; each line comes back as the right type
+    via :func:`record_from_dict`, so a server request log replays into
+    live objects.
+    """
+    return [record_from_dict(data) for data in _read_dicts_jsonl(path)]
+
+
+def _read_dicts_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    records = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                results.append(result_from_json(line))
-    return results
+                records.append(json.loads(line))
+    return records
 
 
 def grid_results(grid: "GridResult") -> list[RunResult]:

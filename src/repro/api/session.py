@@ -24,6 +24,7 @@ the cluster and engine by hand.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
@@ -47,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engines.base import RunResult
     from repro.query.explain import QueryExplanation
     from repro.runtime.executor import Executor
+    from repro.service.server import QueryServer
 
 #: Sentinel distinguishing "not passed" from an explicit ``None``.
 _UNSET: Any = object()
@@ -162,6 +164,15 @@ class Session:
     currently selected engine/query and returns a
     :class:`~repro.engines.base.RunResult`.  Use as a context manager (or
     call :meth:`close`) to release the process pool when ``workers > 0``.
+
+    Sessions are safe to share between threads: selection
+    (``engine``/``query``/``configure``) and execution (``run``/
+    ``explain``/``run_grid``) serialize on an internal re-entrant lock,
+    so concurrent callers see consistent engine+query pairs (engines keep
+    per-run state, so runs cannot overlap on one session).  For actual
+    concurrent *throughput* over one graph use
+    :class:`repro.service.QueryScheduler` (or :meth:`serve`), which runs
+    worker threads with per-worker engines.
     """
 
     def __init__(
@@ -191,6 +202,9 @@ class Session:
         self._query_name: str | None = None
         self._partition = None
         self._executor: "Executor | None" = None
+        # Re-entrant: run() takes it and calls locked helpers like
+        # _get_partition(); re-entrancy keeps those compositions simple.
+        self._lock = threading.RLock()
 
     # -- introspection -------------------------------------------------
     @property
@@ -221,15 +235,16 @@ class Session:
 
     def with_config(self, config: RunConfig) -> "Session":
         """Swap in a whole RunConfig."""
-        if config != self._config:
-            self._invalidate(
-                partition=any(
-                    getattr(config, name) != getattr(self._config, name)
-                    for name in self._PARTITION_FIELDS
-                ),
-                executor=config.workers != self._config.workers,
-            )
-            self._config = config
+        with self._lock:
+            if config != self._config:
+                self._invalidate(
+                    partition=any(
+                        getattr(config, name) != getattr(self._config, name)
+                        for name in self._PARTITION_FIELDS
+                    ),
+                    executor=config.workers != self._config.workers,
+                )
+                self._config = config
         return self
 
     def configure(self, **updates: Any) -> "Session":
@@ -276,14 +291,15 @@ class Session:
         once per selection.
         """
         canonical = self._registry.resolve(name).name
-        # Check before mutating: a rejected selection must leave the
-        # previously selected engine (and its name) fully intact.
-        self._check_label_capability(engine_name=canonical)
-        self._engine_name = canonical
-        self._engine_kwargs = dict(engine_kwargs)
-        self._engine = self._registry.create(
-            self._engine_name, graph=self._graph, **self._engine_kwargs
-        )
+        with self._lock:
+            # Check before mutating: a rejected selection must leave the
+            # previously selected engine (and its name) fully intact.
+            self._check_label_capability(engine_name=canonical)
+            self._engine_name = canonical
+            self._engine_kwargs = dict(engine_kwargs)
+            self._engine = self._registry.create(
+                self._engine_name, graph=self._graph, **self._engine_kwargs
+            )
         return self
 
     def query(self, query: "str | Pattern | LabeledPattern") -> "Session":
@@ -299,32 +315,33 @@ class Session:
         here, at resolution time.
         """
         resolved = resolve_query(query)
-        if isinstance(resolved, LabeledPattern):
-            if self._labeled_graph is None:
-                raise ValueError(
-                    f"labeled query {resolved!r} needs a labeled data "
-                    f"graph; open the session with a LabeledGraph (e.g. "
-                    f"repro.graph.labeled.label_randomly(graph, k))"
-                )
-            # Check before mutating: a rejected query must leave the
-            # previous selection fully intact.
-            if self._engine_name is not None:
-                self._registry.require(
-                    self._engine_name, supports_labels=True
-                )
-            self._labeled_query = resolved
-            self._pattern = resolved.pattern
-        else:
-            self._labeled_query = None
-            self._pattern = resolved
-        # Only a registered lookup name is a grid key; patterns and DSL
-        # text are carried as objects so run_grid works for them too.
-        self._query_name = (
-            str(query).strip().lower()
-            if isinstance(query, str)
-            and str(query).strip().lower() in named_patterns()
-            else None
-        )
+        with self._lock:
+            if isinstance(resolved, LabeledPattern):
+                if self._labeled_graph is None:
+                    raise ValueError(
+                        f"labeled query {resolved!r} needs a labeled data "
+                        f"graph; open the session with a LabeledGraph (e.g. "
+                        f"repro.graph.labeled.label_randomly(graph, k))"
+                    )
+                # Check before mutating: a rejected query must leave the
+                # previous selection fully intact.
+                if self._engine_name is not None:
+                    self._registry.require(
+                        self._engine_name, supports_labels=True
+                    )
+                self._labeled_query = resolved
+                self._pattern = resolved.pattern
+            else:
+                self._labeled_query = None
+                self._pattern = resolved
+            # Only a registered lookup name is a grid key; patterns and DSL
+            # text are carried as objects so run_grid works for them too.
+            self._query_name = (
+                str(query).strip().lower()
+                if isinstance(query, str)
+                and str(query).strip().lower() in named_patterns()
+                else None
+            )
         return self
 
     def _check_label_capability(self, engine_name: str | None) -> None:
@@ -334,21 +351,26 @@ class Session:
 
     # -- execution -----------------------------------------------------
     def _get_partition(self):
-        if self._partition is None:
-            self._partition = self._config.make_partition(self._graph)
-        return self._partition
+        with self._lock:
+            if self._partition is None:
+                self._partition = self._config.make_partition(self._graph)
+            return self._partition
 
     def cluster(self) -> "Cluster":
         """A fresh-stats cluster over the session's (cached) partition."""
-        return self._config.make_cluster(
-            self._graph, partition=self._get_partition()
-        )
+        with self._lock:
+            return self._config.make_cluster(
+                self._graph, partition=self._get_partition()
+            )
 
     def build_engine(self):
         """The selected engine instance (built once at selection time)."""
-        if self._engine is None:
-            raise RuntimeError("no engine selected; call .engine(name) first")
-        return self._engine
+        with self._lock:
+            if self._engine is None:
+                raise RuntimeError(
+                    "no engine selected; call .engine(name) first"
+                )
+            return self._engine
 
     def run(
         self,
@@ -365,25 +387,28 @@ class Session:
         matcher layer); there the limit caps enumeration itself, so it
         also caps the reported count.
         """
-        if self._pattern is None:
-            raise RuntimeError("no query selected; call .query(name) first")
-        engine = self.build_engine()
-        collect = self._config.collect if collect is None else collect
-        limit = self._config.limit if limit is None else limit
-        if self._labeled_query is not None:
-            return engine.run_labeled(
+        with self._lock:
+            if self._pattern is None:
+                raise RuntimeError(
+                    "no query selected; call .query(name) first"
+                )
+            engine = self.build_engine()
+            collect = self._config.collect if collect is None else collect
+            limit = self._config.limit if limit is None else limit
+            if self._labeled_query is not None:
+                return engine.run_labeled(
+                    self.cluster(),
+                    self._labeled_graph,
+                    self._labeled_query,
+                    collect_embeddings=collect,
+                    limit=limit,
+                )
+            result = engine.run(
                 self.cluster(),
-                self._labeled_graph,
-                self._labeled_query,
+                self._pattern,
                 collect_embeddings=collect,
-                limit=limit,
+                executor=self._get_executor(),
             )
-        result = engine.run(
-            self.cluster(),
-            self._pattern,
-            collect_embeddings=collect,
-            executor=self._get_executor(),
-        )
         if limit is not None and result.embeddings is not None:
             result.embeddings = result.embeddings[:limit]
         return result
@@ -398,12 +423,15 @@ class Session:
         estimates against the session graph.  Purely analytical: nothing
         is enumerated and no cluster stats are touched.
         """
-        if self._pattern is None:
-            raise RuntimeError("no query selected; call .query(name) first")
-        return self.build_engine().explain(
-            self._labeled_query or self._pattern,
-            graph=self._graph if with_estimates else None,
-        )
+        with self._lock:
+            if self._pattern is None:
+                raise RuntimeError(
+                    "no query selected; call .query(name) first"
+                )
+            return self.build_engine().explain(
+                self._labeled_query or self._pattern,
+                graph=self._graph if with_estimates else None,
+            )
 
     def run_grid(
         self,
@@ -422,58 +450,105 @@ class Session:
         """
         from repro.bench.harness import run_query_grid
 
-        if queries is None:
-            if self._pattern is None:
-                raise RuntimeError(
-                    "no queries given and no query selected"
+        with self._lock:
+            if queries is None:
+                if self._pattern is None:
+                    raise RuntimeError(
+                        "no queries given and no query selected"
+                    )
+                if self._labeled_query is not None:
+                    raise ValueError(
+                        "labeled queries cannot be gridded (the "
+                        "distributed engines are unlabeled); pass "
+                        "explicit unlabeled queries= instead"
+                    )
+                queries = [
+                    self._query_name if self._query_name is not None
+                    else self._pattern
+                ]
+            if engines is None or isinstance(engines, (list, tuple)):
+                engines = self._registry.create_all(
+                    list(engines) if engines is not None else None,
+                    graph=self._graph,
+                    engine_kwargs=engine_kwargs,
+                    **({} if engines is not None else {"paper": True}),
                 )
-            if self._labeled_query is not None:
+            elif engine_kwargs:
                 raise ValueError(
-                    "labeled queries cannot be gridded (the distributed "
-                    "engines are unlabeled); pass explicit unlabeled "
-                    "queries= instead"
+                    "engine_kwargs only configures registry-built "
+                    "engines; it cannot apply to a ready engines mapping"
                 )
-            queries = [
-                self._query_name if self._query_name is not None
-                else self._pattern
-            ]
-        if engines is None or isinstance(engines, (list, tuple)):
-            engines = self._registry.create_all(
-                list(engines) if engines is not None else None,
-                graph=self._graph,
-                engine_kwargs=engine_kwargs,
-                **({} if engines is not None else {"paper": True}),
+            return run_query_grid(
+                self._graph,
+                dataset_name,
+                list(queries),
+                engines=dict(engines),
+                config=self._config,
+                check_consistency=check_consistency,
+                executor=self._get_executor(),
+                partition=self._get_partition(),
+                collect=self._config.collect,
+                limit=self._config.limit,
             )
-        elif engine_kwargs:
-            raise ValueError(
-                "engine_kwargs only configures registry-built engines; "
-                "it cannot apply to a ready engines mapping"
+
+    # -- serving -------------------------------------------------------
+    def serve(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        threads: int = 4,
+        cache: Any = None,
+        memory_budget_mb: float | None = None,
+        log_path: str | None = None,
+        start: bool = True,
+    ) -> "QueryServer":
+        """Expose this session's graph + config as a socket query service.
+
+        Builds a :class:`repro.service.server.QueryServer` over the
+        session graph, configuration and registry, and (by default)
+        starts it on a background thread — the API-side twin of the
+        ``repro serve`` CLI subcommand::
+
+            server = repro.open("road.npz").serve(port=7463)
+            client = repro.connect(server.address)
+
+        The server owns its own scheduler/worker pool but shares the
+        session's (cached) graph partition; the session stays
+        independently usable.  Close the returned server (context manager
+        or ``close()``) to stop serving.  Unlabeled queries only.
+        """
+        from repro.service.server import QueryServer
+
+        with self._lock:
+            server = QueryServer(
+                self._graph,
+                self._config,
+                self._registry,
+                host=host,
+                port=port,
+                threads=threads,
+                cache=cache,
+                memory_budget_mb=memory_budget_mb,
+                log_path=log_path,
+                partition=self._get_partition(),
             )
-        return run_query_grid(
-            self._graph,
-            dataset_name,
-            list(queries),
-            engines=dict(engines),
-            config=self._config,
-            check_consistency=check_consistency,
-            executor=self._get_executor(),
-            partition=self._get_partition(),
-            collect=self._config.collect,
-            limit=self._config.limit,
-        )
+        return server.start() if start else server
 
     # -- lifecycle -----------------------------------------------------
     def _get_executor(self) -> "Executor":
-        if self._executor is None:
-            self._executor = self._config.make_executor()
-        return self._executor
+        with self._lock:
+            if self._executor is None:
+                self._executor = self._config.make_executor()
+            return self._executor
 
     def _invalidate(self, *, partition: bool, executor: bool) -> None:
-        if partition:
-            self._partition = None
-        if executor and self._executor is not None:
-            self._executor.close()
-            self._executor = None
+        with self._lock:
+            if partition:
+                self._partition = None
+            if executor and self._executor is not None:
+                self._executor.close()
+                self._executor = None
 
     def close(self) -> None:
         """Release the process pool (idempotent; serial is a no-op)."""

@@ -9,6 +9,14 @@ Subcommands cover the library's workflows end to end::
         [--json]
     python -m repro plan --query q5 [--graph road.npz]
     python -m repro profile --graph road.npz
+    python -m repro serve --graph road.npz --port 7463 [--threads 4]
+    python -m repro submit --port 7463 --query q4 [--engine rads] [--json]
+
+``serve`` starts the :mod:`repro.service` query server (concurrent
+scheduler + canonical-pattern result cache) over one graph; ``submit``
+is the matching client — repeated or isomorphic queries report
+``cache: hit``, and ``--stats`` / ``--ping`` / ``--shutdown`` drive the
+management ops.
 
 Queries are registered names (``q4``, human aliases like ``house``, any
 case) or edge-list DSL (``"a-b, b-c, c-a"``; ``a:0-b:1`` attaches labels
@@ -247,6 +255,104 @@ def _cmd_labeled(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.cache import ResultCache
+
+    graph = load_graph(args.graph)
+    try:
+        session = open_session(graph).with_cluster(
+            machines=args.machines,
+            memory_mb=args.memory_mb or None,
+        ).with_workers(args.workers)
+        cache = (
+            False
+            if args.cache_capacity == 0
+            else ResultCache(
+                capacity=args.cache_capacity, ttl=args.cache_ttl
+            )
+        )
+        server = session.serve(
+            host=args.host,
+            port=args.port,
+            threads=args.threads,
+            cache=cache,
+            memory_budget_mb=args.memory_budget_mb,
+            log_path=args.log,
+            start=False,
+        )
+    # OSError covers the bind failures (port in use, bad host).
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    host, port = server.address
+    # One parseable readiness line (scripts wait for it / read the port).
+    print(f"serving {graph} from {args.graph} on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    print("server stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, connect
+
+    try:
+        client = connect((args.host, args.port))
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot connect to a query server at "
+            f"{args.host}:{args.port}: {exc}"
+        )
+    with client:
+        try:
+            if args.ping:
+                client.ping()
+                print("pong")
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), sort_keys=True))
+                return 0
+            if args.shutdown:
+                client.shutdown()
+                print("shutdown requested")
+                return 0
+            if not args.query:
+                raise SystemExit(
+                    "submit needs --query (or --ping/--stats/--shutdown)"
+                )
+            result = client.submit(
+                args.query,
+                engine=args.engine,
+                priority=args.priority,
+                timeout=args.timeout,
+                collect=True if args.show > 0 else None,
+                limit=args.show if args.show > 0 else None,
+            )
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+        cache = client.last_cache
+    if args.json:
+        payload = result.to_dict()
+        # Only cap when the user asked for a preview; a server configured
+        # with collect=True must not have its embeddings silently dropped.
+        if payload["embeddings"] is not None and args.show > 0:
+            payload["embeddings"] = sorted(payload["embeddings"])[: args.show]
+        payload["cache"] = cache
+        print(json.dumps(payload, sort_keys=True))
+        return 1 if result.failed else 0
+    if result.failed:
+        print(f"FAILED: {result.failure}")
+        return 1
+    print(result.summary())
+    print(f"cache: {cache}")
+    for emb in sorted(result.embeddings or [])[: args.show]:
+        print("  ", emb)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.graph import diameter_lower_bound, triangle_count
 
@@ -333,6 +439,63 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser("profile", help="print graph statistics")
     profile.add_argument("--graph", required=True)
     profile.set_defaults(func=_cmd_profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a graph as a long-running query service "
+             "(concurrent scheduler + canonical-pattern result cache)",
+    )
+    serve.add_argument("--graph", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7463,
+                       help="TCP port (0 = pick an ephemeral port; the "
+                            "readiness line prints the bound address)")
+    serve.add_argument("--machines", type=int, default=10)
+    serve.add_argument("--memory-mb", type=int, default=None,
+                       help="per-machine simulated memory cap; also the "
+                            "basis of the scheduler's admission budget")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="OS processes per scheduler worker thread's "
+                            "executor (0 = serial)")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="scheduler worker threads (concurrent queries)")
+    serve.add_argument("--cache-capacity", type=int, default=128,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="result-cache entry lifetime in seconds")
+    serve.add_argument("--memory-budget-mb", type=float, default=None,
+                       help="admission-control budget override (MiB)")
+    serve.add_argument("--log", default=None,
+                       help="append every served result/explanation to "
+                            "this JSONL request log (replayable via "
+                            "repro.api.results.read_records_jsonl)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a query to a running repro serve instance"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7463)
+    submit.add_argument("--query", default=None,
+                        help="registered name or edge-list DSL")
+    submit.add_argument("--engine", default="RADS")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (ties are FIFO)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up if not served within this many "
+                             "seconds (the run itself is not preempted)")
+    submit.add_argument("--show", type=int, default=0,
+                        help="collect and print up to N embeddings")
+    submit.add_argument("--json", action="store_true",
+                        help="emit RunResult.to_dict() plus the cache "
+                             "disposition as one JSON document")
+    submit.add_argument("--ping", action="store_true",
+                        help="health-check the server and exit")
+    submit.add_argument("--stats", action="store_true",
+                        help="print scheduler + cache counters and exit")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the server to stop serving and exit")
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -28,12 +28,13 @@ class Graph:
     instead of calling the constructor directly.
     """
 
-    __slots__ = ("_indptr", "_indices", "_num_edges")
+    __slots__ = ("_indptr", "_indices", "_num_edges", "_fingerprint")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
         self._indptr = np.asarray(indptr, dtype=np.int64)
         self._indices = np.asarray(indices, dtype=np.int64)
         self._num_edges = int(len(self._indices) // 2)
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -146,6 +147,23 @@ class Graph:
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the adjacency structure (hex SHA-256).
+
+        Equal iff the CSR arrays are equal, i.e. iff the graphs compare
+        ``==``.  Computed once and cached (the graph is immutable); used by
+        :mod:`repro.service` as the graph component of result-cache keys.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(b"csr-graph-v1")
+            digest.update(np.ascontiguousarray(self._indptr).tobytes())
+            digest.update(np.ascontiguousarray(self._indices).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def average_degree(self) -> float:
         """Mean vertex degree."""
         if self.num_vertices == 0:

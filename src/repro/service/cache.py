@@ -1,0 +1,278 @@
+"""Canonical-pattern result cache: share work across isomorphic queries.
+
+The RADS paper motivates sharing enumeration work across queries; this
+module implements the serving-side half of that idea.  Results are keyed
+by the *isomorphism class* of the query pattern — via
+:meth:`repro.query.pattern.Pattern.canonical_key` — together with the data
+graph's content fingerprint, the engine name and a digest of the
+stats-affecting :class:`~repro.api.config.RunConfig` fields.  A cache hit
+for ``"a-b, b-c, c-a"`` therefore serves ``"x-y, y-z, z-x"`` too: the
+stored embeddings are remapped through an explicit isomorphism so every
+served tuple is a genuine embedding of the *requested* pattern.
+
+Eviction is LRU with an optional TTL; ``hits`` / ``misses`` / ``evictions``
+counters are kept per cache and surfaced on every served
+:class:`~repro.engines.base.RunResult` under ``counters["service.*"]``.
+
+What is deliberately **not** in the key:
+
+- ``workers`` — results are backend-independent (asserted by the runtime
+  test suite), so a serial run can serve a ``--workers 8`` client.
+- ``limit`` — collected embeddings are truncated at serve time, exactly
+  like :meth:`repro.api.session.Session.run` does after an uncached run.
+
+Failed (simulated-OOM) runs are never cached: they are cheap to reproduce
+and a capacity change should take effect immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.engines.base import RunResult
+from repro.query.isomorphism import find_isomorphism
+from repro.query.pattern import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.api.config import RunConfig
+    from repro.graph.graph import Graph
+
+#: Counter names merged into served ``RunResult.counters``.
+HIT_COUNTER = "service.cache_hit"
+DEDUP_COUNTER = "service.dedup"
+
+
+def config_digest(config: "RunConfig") -> str:
+    """Digest of the RunConfig fields that can change run *statistics*.
+
+    Machines, memory cap, partitioner, cost model, stragglers and seed all
+    change the simulated timings/communication (and the OOM outcome), so
+    they key the cache.  ``workers`` is excluded — results are
+    backend-independent — as are the result-mode fields (``collect`` keys
+    separately per request; ``limit`` is applied at serve time).
+
+    Partitioner/cost-model *instances* are reduced to their type names
+    (mirroring ``RunConfig.to_dict``): two differently-parameterised
+    instances of one class should be given distinct classes — or distinct
+    caches — to be distinguished.
+    """
+    record = config.to_dict()
+    record.pop("workers", None)
+    record.pop("collect", None)
+    record.pop("limit", None)
+    if record.get("stragglers") is not None:
+        record["stragglers"] = {
+            str(machine): float(factor)
+            for machine, factor in sorted(record["stragglers"].items())
+        }
+    payload = json.dumps(record, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def cache_key(
+    graph: "Graph",
+    pattern: Pattern,
+    engine: str,
+    config: "RunConfig",
+    *,
+    collect: bool,
+    digest: str | None = None,
+) -> tuple:
+    """The full, hashable cache key for one (graph, query, engine, config).
+
+    ``(graph fingerprint, pattern.canonical_key(), engine, config digest,
+    collect)`` — equal for isomorphic patterns, different for anything
+    that could change the served bytes.  Pass a precomputed ``digest``
+    (from :func:`config_digest` of the same config) to skip rehashing an
+    immutable config on a hot path.
+    """
+    return (
+        graph.fingerprint(),
+        pattern.canonical_key(),
+        str(engine),
+        config_digest(config) if digest is None else digest,
+        bool(collect),
+    )
+
+
+def remap_embeddings(
+    embeddings: list[tuple[int, ...]],
+    stored_pattern: Pattern,
+    requested_pattern: Pattern,
+) -> list[tuple[int, ...]]:
+    """Re-index embeddings of ``stored_pattern`` for ``requested_pattern``.
+
+    An embedding is a tuple indexed by pattern vertex; serving a cached
+    result for an isomorphic rewrite must permute each tuple through an
+    isomorphism ``requested -> stored`` so that position ``u`` holds the
+    data vertex matched to *requested* vertex ``u``.  Structurally equal
+    patterns use the identity (so exact repeats are byte-identical even
+    when the pattern has non-trivial automorphisms).
+    """
+    if stored_pattern == requested_pattern:
+        return list(embeddings)
+    mapping = find_isomorphism(requested_pattern, stored_pattern)
+    if mapping is None:
+        raise ValueError(
+            f"cannot remap embeddings: {requested_pattern.name!r} is not "
+            f"isomorphic to cached {stored_pattern.name!r}"
+        )
+    order = [mapping[u] for u in range(requested_pattern.num_vertices)]
+    return [tuple(emb[v] for v in order) for emb in embeddings]
+
+
+def copy_result(result: RunResult) -> RunResult:
+    """A deep, independent copy (via the serialization round-trip).
+
+    The one copy idiom shared by the cache and the scheduler: every
+    served result is detached from the stored/raw one, so callers can
+    mutate counters or embeddings freely.
+    """
+    return RunResult.from_dict(result.to_dict())
+
+
+@dataclass
+class _Entry:
+    """One cached run: the executed pattern plus its result and deadline."""
+
+    pattern: Pattern
+    result: RunResult
+    expires_at: float | None
+
+
+class ResultCache:
+    """Thread-safe LRU + TTL cache of :class:`RunResult` records.
+
+    ``capacity`` bounds the number of entries (least-recently-*used* is
+    evicted first); ``ttl`` (seconds, ``None`` = forever) expires entries
+    lazily at lookup and insertion time.  ``clock`` is injectable for
+    deterministic tests and defaults to :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        ttl: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple, pattern: Pattern) -> RunResult | None:
+        """The cached result for ``key``, served *for* ``pattern``.
+
+        Returns an independent :class:`RunResult` copy whose
+        ``pattern_name`` and (when collected) ``embeddings`` are remapped
+        to the requested pattern, or ``None`` on a miss.  Counts, timings
+        and communication stats are the stored run's, bit-identical to
+        re-running the query.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                del self._entries[key]
+                self.expirations += 1
+                entry = None
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            stored_pattern, stored = entry.pattern, entry.result
+        served = copy_result(stored)
+        served.pattern_name = pattern.name
+        if served.embeddings is not None:
+            served.embeddings = remap_embeddings(
+                served.embeddings, stored_pattern, pattern
+            )
+        return served
+
+    def put(self, key: tuple, pattern: Pattern, result: RunResult) -> bool:
+        """Store a finished run; returns False when it is not cacheable."""
+        if result.failed:
+            return False
+        entry = _Entry(
+            pattern=pattern,
+            result=copy_result(result),
+            expires_at=(
+                None if self.ttl is None else self._clock() + self.ttl
+            ),
+        )
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def _expired(self, entry: _Entry) -> bool:
+        return entry.expires_at is not None and self._clock() >= entry.expires_at
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (JSON-safe; keys match the served counters)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }
+
+    def annotate(self, result: RunResult, *, hit: bool) -> RunResult:
+        """Merge this cache's counters into ``result.counters`` in place.
+
+        Adds ``service.cache_hit`` (0/1 for *this* request) and the
+        cumulative ``service.cache_hits`` / ``service.cache_misses`` /
+        ``service.cache_evictions`` totals, so every served RunResult
+        carries the cache's state without a second round-trip.
+        """
+        snapshot = self.stats()
+        result.counters[HIT_COUNTER] = 1 if hit else 0
+        result.counters["service.cache_hits"] = snapshot["hits"]
+        result.counters["service.cache_misses"] = snapshot["misses"]
+        result.counters["service.cache_evictions"] = (
+            snapshot["evictions"] + snapshot["expirations"]
+        )
+        return result
+
+
+__all__ = [
+    "DEDUP_COUNTER",
+    "HIT_COUNTER",
+    "ResultCache",
+    "cache_key",
+    "config_digest",
+    "remap_embeddings",
+]

@@ -1,0 +1,196 @@
+"""Thin client for the query service: a socket, JSON lines, typed results.
+
+:func:`connect` (also exported as ``repro.connect``) opens a TCP
+connection and returns a :class:`ServiceClient` whose methods mirror the
+session API — ``submit`` returns a real
+:class:`~repro.engines.base.RunResult` (rebuilt via ``from_dict``),
+``explain`` a :class:`~repro.query.explain.QueryExplanation` — so code
+written against a local :class:`~repro.api.session.Session` ports to the
+service by swapping the object::
+
+    with repro.connect(("127.0.0.1", 7463)) as client:
+        result = client.submit("a-b, b-c, c-a", engine="rads")
+        print(result.summary(), client.last_cache)  # "hit" on repeats
+
+One client drives one connection and is not itself thread-safe; open one
+client per thread (the server multiplexes all of them onto one scheduler,
+which is where cross-client caching and dedup happen).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.engines.base import RunResult
+from repro.query.explain import QueryExplanation
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError", "connect"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false`` (the message is its ``error``)."""
+
+
+def _parse_address(address: "tuple[str, int] | str | int") -> tuple[str, int]:
+    """Accept ``(host, port)``, ``"host:port"`` or a bare port number."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    if isinstance(address, int):
+        return "127.0.0.1", address
+    text = str(address)
+    host, _, port = text.rpartition(":")
+    if not port.isdigit():
+        raise ValueError(
+            f"service address {address!r} is not (host, port), "
+            f"'host:port' or a port number"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def connect(
+    address: "tuple[str, int] | str | int", *, timeout: float | None = None
+) -> "ServiceClient":
+    """Open a :class:`ServiceClient` to a running query server.
+
+    ``timeout`` bounds the TCP connect and every subsequent response
+    read (``None`` = wait forever; long enumerations need that or a
+    generous value).
+    """
+    return ServiceClient(_parse_address(address), timeout=timeout)
+
+
+class ServiceClient:
+    """One JSON-lines connection to a :class:`~repro.service.server.QueryServer`."""
+
+    def __init__(
+        self, address: tuple[str, int], *, timeout: float | None = None
+    ):
+        self.address = address
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 1
+        #: Cache disposition of the most recent submit: hit/miss/dedup.
+        self.last_cache: str | None = None
+        try:
+            self.hello = protocol.read_message(self._rfile)
+            if self.hello is None or self.hello.get("kind") != "hello":
+                raise ServiceError(
+                    f"no protocol hello from {address}; is that a repro "
+                    f"query server?"
+                )
+            if self.hello.get("version") != protocol.PROTOCOL_VERSION:
+                raise ServiceError(
+                    f"protocol version mismatch: server speaks "
+                    f"{self.hello.get('version')}, client "
+                    f"{protocol.PROTOCOL_VERSION}"
+                )
+        except BaseException:
+            # Don't leak the connected socket/fds behind the exception.
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _call(self, op: str, **fields: Any) -> dict[str, Any]:
+        request_id = self._next_id
+        self._next_id += 1
+        message = {"op": op, "id": request_id}
+        message.update(
+            {key: value for key, value in fields.items() if value is not None}
+        )
+        protocol.write_message(self._wfile, message)
+        response = protocol.read_message(self._rfile)
+        if response is None:
+            raise ServiceError(
+                f"server at {self.address} closed the connection"
+            )
+        if "id" in response and response["id"] != request_id:
+            # A stale response (e.g. from an earlier read that timed
+            # out): the stream is desynchronized, so the connection is
+            # unusable — close rather than hand back wrong answers.
+            self.close()
+            raise ServiceError(
+                f"out-of-sync response from {self.address}: expected "
+                f"id {request_id}, got {response['id']}; connection closed"
+            )
+        if not response.get("ok"):
+            raise ServiceError(response.get("error") or "unknown error")
+        return response
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: str,
+        engine: str = "RADS",
+        *,
+        priority: int = 0,
+        timeout: float | None = None,
+        collect: bool | None = None,
+        limit: int | None = None,
+        memory_mb: float | None = None,
+    ) -> RunResult:
+        """Run one query on the server; blocks until the result arrives.
+
+        Mirrors :meth:`QueryScheduler.submit`; the cache disposition of
+        the answer lands in :attr:`last_cache` (``"hit"``, ``"miss"`` or
+        ``"dedup"``).
+        """
+        response = self._call(
+            "submit",
+            query=str(query),
+            engine=engine,
+            priority=priority or None,
+            timeout=timeout,
+            collect=collect,
+            limit=limit,
+            memory_mb=memory_mb,
+        )
+        self.last_cache = response.get("cache")
+        return RunResult.from_dict(response["result"])
+
+    def explain(
+        self, query: str, engine: str = "RADS", *, estimates: bool = True
+    ) -> QueryExplanation:
+        """The engine's :class:`QueryExplanation` for ``query``."""
+        response = self._call(
+            "explain",
+            query=str(query),
+            engine=engine,
+            estimates=estimates,
+        )
+        return QueryExplanation.from_dict(response["result"])
+
+    def stats(self) -> dict[str, Any]:
+        """Scheduler + cache counter snapshot (see ``QueryScheduler.stats``)."""
+        return self._call("stats")["result"]
+
+    def ping(self) -> bool:
+        """Round-trip health check."""
+        return self._call("ping")["kind"] == "pong"
+
+    def shutdown(self) -> None:
+        """Ask the server to stop serving (it finishes in the background)."""
+        self._call("shutdown")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        for closer in (self._rfile.close, self._wfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        host, port = self.address
+        return f"ServiceClient({host}:{port})"

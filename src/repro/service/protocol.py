@@ -1,0 +1,97 @@
+"""JSON-lines wire protocol shared by the query server and client.
+
+One request or response per line, UTF-8 JSON with a trailing ``"\\n"``.
+The payload vocabulary reuses the library's existing serializable records
+verbatim — :meth:`RunResult.to_dict` and
+:meth:`QueryExplanation.to_dict` — so anything that can read the CLI's
+``--json`` output can read the service's responses (and the server's
+request log replays through :func:`repro.api.results.read_records_jsonl`).
+
+Requests (client -> server)::
+
+    {"op": "submit", "id": 1, "query": "a-b, b-c, c-a", "engine": "rads",
+     "priority": 0, "timeout": null, "collect": false, "limit": null}
+    {"op": "explain", "id": 2, "query": "q4", "engine": "rads"}
+    {"op": "stats",   "id": 3}
+    {"op": "ping",    "id": 4}
+    {"op": "shutdown","id": 5}
+
+Responses (server -> client) echo ``id`` and carry ``ok``::
+
+    {"id": 1, "ok": true, "kind": "result", "cache": "hit"|"miss"|"dedup",
+     "result": {... RunResult.to_dict() ...}}
+    {"id": 2, "ok": true, "kind": "explanation", "result": {...}}
+    {"id": 3, "ok": true, "kind": "stats", "result": {...}}
+    {"id": 4, "ok": true, "kind": "pong", "result": {"version": 1}}
+    {"id": 5, "ok": true, "kind": "bye", "result": null}
+    {"id": n, "ok": false, "error": "human-readable message"}
+
+On connect the server sends one unsolicited hello line
+(``{"kind": "hello", "version": 1, "graph": <fingerprint>, ...}``) so
+clients can fail fast on protocol or graph mismatches.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+#: Bumped on incompatible wire changes; checked in the client hello.
+PROTOCOL_VERSION = 1
+
+#: Operations the server dispatches on.
+OPS = ("submit", "explain", "stats", "ping", "shutdown")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed line, unknown op, or version mismatch."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One protocol message as a JSON line (UTF-8, trailing newline)."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: "bytes | str") -> dict[str, Any]:
+    """Parse one line into a message dict (raises ProtocolError)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def read_message(stream: BinaryIO) -> dict[str, Any] | None:
+    """The next message from a socket file, or None at EOF."""
+    line = stream.readline()
+    if not line:
+        return None
+    if not line.strip():
+        return {}
+    return decode(line)
+
+
+def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
+    """Send one message and flush (JSON-lines framing)."""
+    stream.write(encode(message))
+    stream.flush()
+
+
+def error_response(request_id: Any, message: str) -> dict[str, Any]:
+    """A failure response echoing the request id."""
+    return {"id": request_id, "ok": False, "error": str(message)}
+
+
+def ok_response(
+    request_id: Any, kind: str, result: Any, **extra: Any
+) -> dict[str, Any]:
+    """A success response echoing the request id."""
+    response = {"id": request_id, "ok": True, "kind": kind, "result": result}
+    response.update(extra)
+    return response

@@ -1,0 +1,689 @@
+"""Concurrent query scheduler: many submissions over one data graph.
+
+:class:`QueryScheduler` turns the one-shot :class:`repro.api.session.Session`
+execution path into an always-on serving loop.  Submissions go into a
+priority queue; a fixed pool of worker threads executes them over the
+existing engine/:class:`~repro.runtime.executor.Executor` machinery, each
+run on a fresh-stats cluster over one shared partition (so results are
+bit-identical to a standalone ``Session.run()``).
+
+Serving features, each deterministic and independently testable:
+
+- **Priorities** — higher ``priority`` runs first; ties are FIFO.
+- **Admission control** — every request reserves an estimated memory
+  footprint (default: the worst case of its simulated cluster,
+  ``machines x memory_mb``) against a host budget derived from
+  :attr:`RunConfig.memory_mb` (default: one worst-case query per worker
+  thread).  The queue head waits until enough reservations are released;
+  a request that can *never* fit is rejected at submit time with
+  :class:`AdmissionError`.  With ``memory_mb=None`` the budget is
+  unlimited.
+- **Deduplication** — a submission whose cache key (graph fingerprint,
+  ``canonical_key()``, engine, config digest, collect flag) matches an
+  in-flight request does not enqueue new work: it attaches to the running
+  execution and receives the same result, remapped to its own pattern.
+- **Result cache** — finished runs go into a :class:`~repro.service.cache.ResultCache`;
+  later submissions of the same key (including isomorphic rewrites) are
+  answered immediately, without touching the queue.
+- **Timeout / cancellation** — ``timeout=`` bounds *waiting*: a timer
+  fails the ticket with :class:`ServiceTimeout` at its deadline, so a
+  blocked ``result()`` returns on time no matter how busy the workers
+  are.  Expired queued work is skipped entirely; a run already
+  executing is not preempted — its result still lands in the cache for
+  the next requester.  :meth:`QueryTicket.cancel` works any time
+  before delivery.
+
+Engines are built per worker thread (they keep per-run state), and each
+worker owns one executor from :meth:`RunConfig.make_executor`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.api.config import MIB, RunConfig
+from repro.api.registry import EngineRegistry, default_registry
+from repro.engines.base import RunResult
+from repro.enumeration.labeled import LabeledPattern
+from repro.query.pattern import Pattern
+from repro.service.cache import (
+    DEDUP_COUNTER,
+    ResultCache,
+    cache_key,
+    config_digest,
+    copy_result,
+    remap_embeddings,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.graph.graph import Graph
+
+__all__ = [
+    "AdmissionError",
+    "QueryScheduler",
+    "QueryTicket",
+    "SchedulerClosed",
+    "ServiceTimeout",
+]
+
+
+class SchedulerClosed(RuntimeError):
+    """Submission after :meth:`QueryScheduler.close`."""
+
+
+class AdmissionError(RuntimeError):
+    """A request's memory estimate exceeds the whole admission budget."""
+
+
+class ServiceTimeout(TimeoutError):
+    """A request was not delivered within its ``timeout``."""
+
+
+class QueryTicket:
+    """Handle for one submission: a future plus serving metadata.
+
+    ``cache_hit`` is True when the submission was answered from the
+    result cache without queueing; ``deduped`` when it attached to an
+    identical in-flight execution.  :meth:`result` blocks (with an
+    optional *wait* timeout, independent of the submission's own
+    ``timeout``); :meth:`cancel` succeeds any time before delivery.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        engine: str,
+        *,
+        priority: int,
+        deadline: float | None,
+        limit: int | None,
+    ):
+        self.pattern = pattern
+        self.engine = engine
+        self.priority = priority
+        self.deadline = deadline
+        self.limit = limit
+        self.cache_hit = False
+        self.deduped = False
+        self._future: "Future[RunResult]" = Future()
+        self._timer: "threading.Timer | None" = None
+
+    def result(self, timeout: float | None = None) -> RunResult:
+        """The run's :class:`RunResult` (raises what the run raised)."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The run's exception, if any (None for a delivered result)."""
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        """True once delivered, failed or cancelled."""
+        return self._future.done()
+
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` won."""
+        return self._future.cancelled()
+
+    def cancel(self) -> bool:
+        """Abandon the request; True unless already delivered."""
+        cancelled = self._future.cancel()
+        if cancelled:
+            self._drop_timer()  # reap the deadline timer right away
+        return cancelled
+
+    # -- scheduler side -------------------------------------------------
+    def _expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def _claim_resolution(self) -> bool:
+        """Atomically win the right to resolve the future (or lose)."""
+        if self._future.done():
+            # Already resolved — the deadline timer, a canceller or
+            # another deliverer got here first.  (Also checked below:
+            # done() is only a fast path, the transition is what counts.)
+            return False
+        try:
+            return self._future.set_running_or_notify_cancel()
+        except RuntimeError:
+            return False
+
+    def _deliver(self, build: Callable[[], RunResult]) -> bool:
+        """Resolve the future unless cancellation/timeout already won."""
+        if not self._claim_resolution():
+            return False
+        try:
+            self._future.set_result(build())
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+            self._future.set_exception(exc)
+        self._drop_timer()
+        return True
+
+    def _fail(self, exc: BaseException) -> bool:
+        if not self._claim_resolution():
+            return False
+        self._future.set_exception(exc)
+        self._drop_timer()
+        return True
+
+    def _drop_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+
+class _Execution:
+    """One unit of queue work: a primary request plus dedup followers."""
+
+    def __init__(self, key: tuple, ticket: QueryTicket, cost: int):
+        self.key = key
+        self.engine = ticket.engine
+        self.cost = cost
+        self.requests: list[QueryTicket] = [ticket]
+        #: The pattern actually enumerated (the primary's spelling).
+        self.pattern = ticket.pattern
+        self.collect = key[-1]
+        #: Highest priority pushed to the heap so far; a dedup rider with
+        #: a higher priority re-pushes the execution (the old heap entry
+        #: goes stale and is skipped via ``claimed``/priority mismatch).
+        self.heap_priority = ticket.priority
+        #: Set once a worker takes (or drops) this execution; stale heap
+        #: entries left behind by priority escalation check it.
+        self.claimed = False
+
+
+class QueryScheduler:
+    """Thread-pool query service over one data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph every query runs against.
+    config:
+        Cluster/backend configuration (one shared partition is built from
+        it up front; every run gets a fresh-stats cluster over it).
+    registry:
+        Engine registry (default: :func:`repro.api.default_registry`).
+    threads:
+        Worker threads executing queued queries concurrently.
+    cache:
+        A :class:`ResultCache`, ``None`` for the default (128 entries, no
+        TTL), or ``False`` to disable caching entirely.
+    memory_budget_mb:
+        Admission budget in MiB.  Default: ``machines * memory_mb *
+        threads`` when the config caps memory, else unlimited.
+    partition:
+        A prebuilt partition of ``graph`` under this config (e.g. a
+        Session's cached one), reused instead of partitioning again.
+
+    Deadlines (``submit(timeout=...)``) are wall-clock
+    (:func:`time.monotonic`) throughout — both the queue-side expiry
+    checks and the ticket's deadline timer — so the two mechanisms can
+    never disagree.
+    """
+
+    def __init__(
+        self,
+        graph: "Graph",
+        config: RunConfig | None = None,
+        registry: EngineRegistry | None = None,
+        *,
+        threads: int = 4,
+        cache: "ResultCache | None | bool" = None,
+        memory_budget_mb: float | None = None,
+        partition: Any = None,
+    ):
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.graph = graph
+        self.config = config or RunConfig()
+        self.registry = registry or default_registry()
+        if cache is False:
+            self.cache: ResultCache | None = None
+        else:
+            self.cache = cache if isinstance(cache, ResultCache) else ResultCache()
+        self._clock = time.monotonic
+        self._threads = threads
+        # The config is immutable, so the digest half of every cache key
+        # is computed once here, not per submission.
+        self._config_digest = config_digest(self.config)
+        # Shared, immutable once built: every run reuses this partition.
+        self._partition = (
+            partition if partition is not None
+            else self.config.make_partition(graph)
+        )
+        # -- admission budget ------------------------------------------
+        per_query = self.config.memory_bytes
+        self._default_cost = (
+            0 if per_query is None else per_query * self.config.machines
+        )
+        if memory_budget_mb is not None:
+            if per_query is None:
+                raise ValueError(
+                    "memory_budget_mb needs RunConfig.memory_mb to meter "
+                    "requests: without it every query costs 0 bytes and "
+                    "the budget would silently admit unlimited work"
+                )
+            self._budget: int | None = int(memory_budget_mb * MIB)
+        elif per_query is not None:
+            self._budget = self._default_cost * threads
+        else:
+            self._budget = None
+        self._reserved = 0
+        # -- queue ------------------------------------------------------
+        self._cond = threading.Condition()
+        self._heap: list[tuple[int, int, _Execution]] = []
+        self._inflight: dict[tuple, _Execution] = {}
+        self._seq = itertools.count()
+        self._closed = False
+        self._stats = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cache_hits": 0,
+            "deduped": 0,
+            "timeouts": 0,
+            "cancelled": 0,
+            "rejected": 0,
+            "executor_fallbacks": 0,
+        }
+        self._running = 0
+        self._max_in_flight = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"repro-query-{i}", daemon=True
+            )
+            for i in range(threads)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: "str | Pattern",
+        engine: str = "RADS",
+        *,
+        priority: int = 0,
+        timeout: float | None = None,
+        collect: bool | None = None,
+        limit: int | None = None,
+        memory_mb: float | None = None,
+    ) -> QueryTicket:
+        """Enqueue one query; returns immediately with a :class:`QueryTicket`.
+
+        ``query`` is anything :func:`repro.api.session.resolve_query`
+        accepts except labeled patterns; ``engine`` any registry
+        name/alias.  ``collect``/``limit`` default to the scheduler
+        config's result mode; ``memory_mb`` overrides the request's
+        admission estimate.
+        """
+        from repro.api.session import resolve_query
+
+        pattern = resolve_query(query)
+        if isinstance(pattern, LabeledPattern):
+            raise ValueError(
+                "the query service serves unlabeled queries; run labeled "
+                "queries through Session.run() instead"
+            )
+        engine_name = self.registry.resolve(engine).name
+        collect = self.config.collect if collect is None else bool(collect)
+        limit = self.config.limit if limit is None else limit
+        cost = (
+            self._default_cost if memory_mb is None else int(memory_mb * MIB)
+        )
+        if self._budget is not None and cost > self._budget:
+            with self._cond:
+                self._stats["rejected"] += 1
+            raise AdmissionError(
+                f"query {pattern.name!r} needs {cost} bytes but the "
+                f"admission budget is {self._budget} bytes"
+            )
+        deadline = None if timeout is None else self._clock() + timeout
+        ticket = QueryTicket(
+            pattern,
+            engine_name,
+            priority=priority,
+            deadline=deadline,
+            limit=limit,
+        )
+        key = cache_key(
+            self.graph,
+            pattern,
+            engine_name,
+            self.config,
+            collect=collect,
+            digest=self._config_digest,
+        )
+        # Fast path: answer from the cache without queueing.
+        if self.cache is not None:
+            served = self.cache.get(key, pattern)
+            if served is not None:
+                ticket.cache_hit = True
+                with self._cond:
+                    if self._closed:
+                        raise SchedulerClosed("scheduler is closed")
+                    self._stats["submitted"] += 1
+                    self._stats["cache_hits"] += 1
+                ticket._deliver(
+                    lambda: self._finish_result(served, ticket, hit=True)
+                )
+                return ticket
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosed("scheduler is closed")
+            self._stats["submitted"] += 1
+            running = self._inflight.get(key)
+            if running is not None:
+                # Deduplicate: ride the in-flight execution.  A rider
+                # with a higher priority escalates the queued execution
+                # (re-push; the old heap entry goes stale).
+                ticket.deduped = True
+                running.requests.append(ticket)
+                self._stats["deduped"] += 1
+                if not running.claimed and priority > running.heap_priority:
+                    running.heap_priority = priority
+                    heapq.heappush(
+                        self._heap, (-priority, next(self._seq), running)
+                    )
+                    self._cond.notify()
+                self._arm_timer(ticket, timeout)
+                return ticket
+            execution = _Execution(key, ticket, cost)
+            self._inflight[key] = execution
+            heapq.heappush(
+                self._heap, (-priority, next(self._seq), execution)
+            )
+            self._arm_timer(ticket, timeout)
+            self._cond.notify()
+        return ticket
+
+    def _arm_timer(self, ticket: QueryTicket, timeout: float | None) -> None:
+        """Fail the ticket at its deadline even while workers are busy.
+
+        The timer bounds *waiting* precisely — a blocked ``result()``
+        returns at the deadline no matter how long the queue is.  The
+        execution itself is not preempted; its result is still delivered
+        to other requesters and cached.
+
+        Cost: one (daemon) Timer thread per timed request, alive until
+        delivery, cancellation or the deadline — a deliberate trade: it
+        keeps the deadline authoritative on the ticket itself (observers
+        beyond ``result()`` see the failure too) instead of pushing
+        deadline math into every waiter.
+        """
+        if timeout is None:
+            return
+
+        def expire() -> None:
+            if ticket._fail(ServiceTimeout(
+                f"query {ticket.pattern.name!r} was not served within "
+                f"{timeout}s"
+            )):
+                with self._cond:
+                    self._stats["timeouts"] += 1
+
+        ticket._timer = timer = threading.Timer(timeout, expire)
+        timer.daemon = True
+        timer.start()
+
+    def run(
+        self,
+        query: "str | Pattern",
+        engine: str = "RADS",
+        **submit_kwargs: Any,
+    ) -> RunResult:
+        """Submit and wait — the blocking convenience spelling."""
+        return self.submit(query, engine, **submit_kwargs).result()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        engines: dict[str, Any] = {}
+        try:
+            executor = self.config.make_executor()
+        except Exception:
+            # A process-pool backend that cannot start (full /dev/shm,
+            # no spawn support) must not silently kill the worker and
+            # wedge submissions: results are backend-independent, so
+            # serial execution is a safe degradation.
+            from repro.runtime.executor import SerialExecutor
+
+            executor = SerialExecutor()
+            with self._cond:
+                self._stats["executor_fallbacks"] += 1
+        try:
+            while True:
+                with self._cond:
+                    execution = self._claim()
+                    while execution is None:
+                        if self._closed:
+                            return
+                        self._cond.wait()
+                        execution = self._claim()
+                try:
+                    self._execute(execution, engines, executor)
+                finally:
+                    with self._cond:
+                        self._reserved -= execution.cost
+                        self._running -= 1
+                        self._cond.notify_all()
+        finally:
+            executor.close()
+
+    def _claim(self) -> _Execution | None:
+        """Pop the next runnable execution (holding the lock), or None.
+
+        Strictly priority-ordered: when the head does not fit the
+        remaining budget the worker waits instead of bypassing it, so a
+        large request cannot be starved by a stream of small ones.
+        Progress is guaranteed because no admitted request costs more
+        than the whole budget.
+        """
+        now = self._clock()
+        while self._heap:
+            neg_priority, _seq, execution = self._heap[0]
+            # Stale entries: the execution was already taken, or this
+            # entry predates a dedup priority escalation (a fresher one
+            # is elsewhere in the heap).
+            if execution.claimed or -neg_priority != execution.heap_priority:
+                heapq.heappop(self._heap)
+                continue
+            # Drop requests that died while queued (timeout / cancel);
+            # skip the whole execution when nobody is left waiting.
+            live: list[QueryTicket] = []
+            for ticket in execution.requests:
+                if ticket.cancelled():
+                    self._stats["cancelled"] += 1
+                elif ticket.done():
+                    pass  # the deadline timer already failed it
+                elif ticket._expired(now) and ticket._fail(
+                    ServiceTimeout(
+                        f"query {ticket.pattern.name!r} timed out after "
+                        f"waiting in the service queue"
+                    )
+                ):
+                    self._stats["timeouts"] += 1
+                else:
+                    live.append(ticket)
+            execution.requests = live
+            if not live:
+                heapq.heappop(self._heap)
+                execution.claimed = True
+                self._inflight.pop(execution.key, None)
+                continue
+            if self._budget is not None and (
+                self._reserved + execution.cost > self._budget
+            ):
+                return None
+            heapq.heappop(self._heap)
+            execution.claimed = True
+            self._reserved += execution.cost
+            self._running += 1
+            self._max_in_flight = max(self._max_in_flight, self._running)
+            return execution
+        return None
+
+    def _execute(
+        self,
+        execution: _Execution,
+        engines: dict[str, Any],
+        executor: Any,
+    ) -> None:
+        try:
+            # Construction is inside the guard too: a failing engine
+            # factory or partition/cluster problem must fail the waiting
+            # tickets, not unwind (and permanently kill) the worker.
+            engine = engines.get(execution.engine)
+            if engine is None:
+                engine = self.registry.create(
+                    execution.engine, graph=self.graph
+                )
+                engines[execution.engine] = engine
+            cluster = self.config.make_cluster(
+                self.graph, partition=self._partition
+            )
+            raw = engine.run(
+                cluster,
+                execution.pattern,
+                collect_embeddings=execution.collect,
+                executor=executor,
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            with self._cond:
+                # Seal before failing: later identical submissions must
+                # start a fresh execution, not attach to this dead one.
+                self._inflight.pop(execution.key, None)
+                requests = list(execution.requests)
+            # Count only tickets this failure actually resolved — ones
+            # already timed out or cancelled are in those counters.
+            failed = sum(1 for ticket in requests if ticket._fail(exc))
+            with self._cond:
+                self._stats["failed"] += failed
+            return
+        with self._cond:
+            # Seal the follower list: a dedup submission can only attach
+            # while the key is in ``_inflight``, so popping it here (under
+            # the lock) guarantees everyone appended is delivered below.
+            self._inflight.pop(execution.key, None)
+            requests = list(execution.requests)
+        if self.cache is not None:
+            self.cache.put(execution.key, execution.pattern, raw)
+        now = self._clock()
+        delivered = 0
+        for ticket in requests:
+            if ticket._expired(now):
+                if ticket._fail(
+                    ServiceTimeout(
+                        f"query {ticket.pattern.name!r} finished after "
+                        f"its deadline"
+                    )
+                ):
+                    with self._cond:
+                        self._stats["timeouts"] += 1
+                continue
+            if ticket._deliver(
+                lambda t=ticket: self._serve_copy(raw, execution.pattern, t)
+            ):
+                delivered += 1
+        with self._cond:
+            self._stats["completed"] += delivered
+
+    # ------------------------------------------------------------------
+    # Result shaping
+    # ------------------------------------------------------------------
+    def _serve_copy(
+        self, raw: RunResult, executed: Pattern, ticket: QueryTicket
+    ) -> RunResult:
+        """An independent RunResult for one requester of an execution."""
+        served = copy_result(raw)
+        served.pattern_name = ticket.pattern.name
+        if served.embeddings is not None:
+            served.embeddings = remap_embeddings(
+                served.embeddings, executed, ticket.pattern
+            )
+        return self._finish_result(served, ticket, hit=False)
+
+    def _finish_result(
+        self, served: RunResult, ticket: QueryTicket, *, hit: bool
+    ) -> RunResult:
+        """Apply the request's limit and counter annotations in place."""
+        if ticket.limit is not None and served.embeddings is not None:
+            served.embeddings = served.embeddings[: ticket.limit]
+        if self.cache is not None:
+            self.cache.annotate(served, hit=hit)
+        served.counters[DEDUP_COUNTER] = 1 if ticket.deduped else 0
+        return served
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """JSON-safe snapshot of scheduler (and cache) counters."""
+        with self._cond:
+            snapshot: dict[str, Any] = dict(self._stats)
+            snapshot["queued"] = len(self._heap)
+            snapshot["running"] = self._running
+            snapshot["max_in_flight"] = self._max_in_flight
+            snapshot["threads"] = self._threads
+            snapshot["budget_bytes"] = self._budget
+            snapshot["reserved_bytes"] = self._reserved
+        snapshot["cache"] = None if self.cache is None else self.cache.stats()
+        return snapshot
+
+    def close(self, *, cancel_pending: bool = True) -> None:
+        """Stop the workers (idempotent).
+
+        Pending queued requests are cancelled (or, with
+        ``cancel_pending=False``, the call blocks until the workers have
+        drained the queue before shutting them down).
+        """
+        with self._cond:
+            if self._closed:
+                return
+            if cancel_pending:
+                for _, _, execution in self._heap:
+                    if execution.claimed:
+                        continue  # running, or a stale duplicate entry
+                    execution.claimed = True
+                    for ticket in execution.requests:
+                        if ticket.cancel():
+                            self._stats["cancelled"] += 1
+                    self._inflight.pop(execution.key, None)
+                self._heap.clear()
+            else:
+                while self._has_pending_work():
+                    self._cond.wait()
+            self._closed = True
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join()
+
+    def _has_pending_work(self) -> bool:
+        """True while real work remains (caller holds the lock).
+
+        Prunes stale heap entries (claimed executions, pre-escalation
+        duplicates) on the way: workers popping those do not notify, so
+        a drain that merely checked ``self._heap`` could wait forever on
+        entries nobody will announce.
+        """
+        while self._heap:
+            neg_priority, _seq, execution = self._heap[0]
+            if execution.claimed or -neg_priority != execution.heap_priority:
+                heapq.heappop(self._heap)
+                continue
+            return True
+        return self._running > 0
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

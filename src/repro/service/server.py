@@ -1,0 +1,343 @@
+"""The socket front end: a long-running query service over one graph.
+
+:class:`QueryServer` binds a TCP socket and speaks the JSON-lines
+protocol of :mod:`repro.service.protocol`; every connection gets its own
+handler thread (``ThreadingTCPServer``), and all connections share one
+:class:`~repro.service.scheduler.QueryScheduler` — so the priority queue,
+admission budget, in-flight deduplication and result cache apply across
+clients, which is the whole point of a serving layer.
+
+Entry points::
+
+    server = repro.Session(graph).serve(port=0)        # API front door
+    python -m repro serve --graph g.npz --port 7463    # CLI
+
+With ``log_path`` every served result/explanation record is appended to a
+JSONL request log (via :func:`repro.api.results.append_record_jsonl`),
+replayable with :func:`repro.api.results.read_records_jsonl`.
+
+This transport is deliberately minimal — newline-framed JSON over TCP —
+because it is also the first cut of the socket layer the ROADMAP's
+distributed-shards work will ride on.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from concurrent.futures import CancelledError
+from typing import TYPE_CHECKING, Any
+
+from repro.api.config import RunConfig
+from repro.api.registry import EngineRegistry, default_registry
+from repro.service import protocol
+from repro.service.cache import ResultCache
+from repro.service.scheduler import QueryScheduler, ServiceTimeout
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.graph.graph import Graph
+
+__all__ = ["QueryServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: hello, then a request/response loop until EOF."""
+
+    server: "_TCPServer"
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        front = self.server.front
+        try:
+            protocol.write_message(self.wfile, front._hello())
+        except OSError:
+            # e.g. a readiness probe that connected and hung up.
+            return
+        while True:
+            try:
+                message = protocol.read_message(self.rfile)
+            except (protocol.ProtocolError, OSError) as exc:
+                try:
+                    protocol.write_message(
+                        self.wfile, protocol.error_response(None, str(exc))
+                    )
+                except OSError:
+                    pass
+                return
+            if message is None:
+                return
+            if not message:  # blank keep-alive line
+                continue
+            response = front._dispatch(message)
+            try:
+                protocol.write_message(self.wfile, response)
+            except OSError:
+                return
+            if response.get("kind") == "bye":
+                front._request_shutdown()
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    front: "QueryServer"
+
+
+class QueryServer:
+    """JSON-lines TCP server over one :class:`QueryScheduler`.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    :attr:`address`.  Use :meth:`start` for a background server (tests,
+    notebooks) or :meth:`serve_forever` to block (the CLI); either way
+    :meth:`close` — or a client ``shutdown`` op — stops the accept loop
+    and the scheduler.
+    """
+
+    def __init__(
+        self,
+        graph: "Graph",
+        config: RunConfig | None = None,
+        registry: EngineRegistry | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        threads: int = 4,
+        cache: "ResultCache | None | bool" = None,
+        memory_budget_mb: float | None = None,
+        log_path: "str | None" = None,
+        partition: Any = None,
+    ):
+        self.graph = graph
+        self.config = config or RunConfig()
+        self.registry = registry or default_registry()
+        # Bind before building the scheduler: a bind failure (port in
+        # use) must not strand live worker threads / process pools.
+        self._tcp = _TCPServer((host, int(port)), _Handler)
+        try:
+            self.scheduler = QueryScheduler(
+                graph,
+                self.config,
+                self.registry,
+                threads=threads,
+                cache=cache,
+                memory_budget_mb=memory_budget_mb,
+                partition=partition,
+            )
+        except BaseException:
+            self._tcp.server_close()
+            raise
+        self._log_path = log_path
+        self._log_lock = threading.Lock()
+        self._explain_engines: dict[str, Any] = {}
+        self._explain_lock = threading.Lock()
+        self._tcp.front = self
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        #: True once a serve loop was launched; close() must only call
+        #: _tcp.shutdown() then — shutdown() waits on an event that only
+        #: serve_forever() sets, so it would hang for a never-started
+        #: server (e.g. Session.serve(start=False) closed unused).
+        self._serving = False
+        # close() can race: the shutdown op runs it on a daemon thread
+        # while the owning `with server:` exits.  Serialize the whole
+        # teardown so the loser blocks until the winner has fully closed.
+        self._close_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ephemeral ports."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> "QueryServer":
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                name="repro-query-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` or a shutdown op."""
+        self._serving = True
+        self._tcp.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting, release the socket, stop the scheduler.
+
+        Idempotent and thread-safe: concurrent callers (the ``shutdown``
+        op's daemon thread vs. the owner's context exit) serialize, and
+        every caller returns only once the teardown has fully finished.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._serving:
+                self._tcp.shutdown()
+            self._tcp.server_close()
+            if self._thread is not None:
+                self._thread.join()
+                self._thread = None
+            self.scheduler.close()
+
+    def _request_shutdown(self) -> None:
+        """Shutdown initiated from a handler thread (the ``shutdown`` op)."""
+        threading.Thread(target=self.close, daemon=True).start()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Protocol dispatch (one call per request line)
+    # ------------------------------------------------------------------
+    def _hello(self) -> dict[str, Any]:
+        return {
+            "kind": "hello",
+            "ok": True,
+            "version": protocol.PROTOCOL_VERSION,
+            "graph": self.graph.fingerprint(),
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "engines": self.registry.names(),
+        }
+
+    def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        request_id = message.get("id")
+        op = message.get("op")
+        try:
+            if op == "submit":
+                return self._op_submit(request_id, message)
+            if op == "explain":
+                return self._op_explain(request_id, message)
+            if op == "stats":
+                return protocol.ok_response(
+                    request_id, "stats", self.scheduler.stats()
+                )
+            if op == "ping":
+                return protocol.ok_response(
+                    request_id,
+                    "pong",
+                    {"version": protocol.PROTOCOL_VERSION},
+                )
+            if op == "shutdown":
+                return protocol.ok_response(request_id, "bye", None)
+            return protocol.error_response(
+                request_id,
+                f"unknown op {op!r}; expected one of "
+                f"{', '.join(protocol.OPS)}",
+            )
+        except ServiceTimeout as exc:
+            return protocol.error_response(request_id, f"timeout: {exc}")
+        except CancelledError:
+            # A shutdown cancelled the queued request under this waiter.
+            return protocol.error_response(
+                request_id, "request cancelled (server shutting down?)"
+            )
+        except Exception as exc:
+            # Whatever an engine (or a third-party plugin) raised: the
+            # connection must answer, not die — AdmissionError,
+            # UnknownEngineError/UnknownQueryError, SchedulerClosed,
+            # type errors from malformed fields, plugin bugs, all of it.
+            return protocol.error_response(
+                request_id, f"{type(exc).__name__}: {exc}"
+            )
+
+    def _op_submit(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        query = message.get("query")
+        if not query:
+            return protocol.error_response(
+                request_id, "submit needs a 'query' (name or pattern DSL)"
+            )
+        ticket = self.scheduler.submit(
+            str(query),
+            str(message.get("engine", "RADS")),
+            priority=int(message.get("priority", 0)),
+            timeout=message.get("timeout"),
+            collect=message.get("collect"),
+            limit=message.get("limit"),
+            memory_mb=message.get("memory_mb"),
+        )
+        result = ticket.result()
+        cache = (
+            "hit" if ticket.cache_hit
+            else "dedup" if ticket.deduped
+            else "miss"
+        )
+        record = result.to_dict()
+        self._log_record(record)
+        return protocol.ok_response(
+            request_id, "result", record, cache=cache
+        )
+
+    def _op_explain(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        from repro.api.session import resolve_query
+
+        query = message.get("query")
+        if not query:
+            return protocol.error_response(
+                request_id, "explain needs a 'query' (name or pattern DSL)"
+            )
+        engine_name = self.registry.resolve(
+            str(message.get("engine", "RADS"))
+        ).name
+        with self._explain_lock:
+            engine = self._explain_engines.get(engine_name)
+            if engine is None:
+                engine = self.registry.create(engine_name, graph=self.graph)
+                self._explain_engines[engine_name] = engine
+            # explain() is analytical and engine state is untouched, but
+            # engines are not thread-safe in general: hold the lock.
+            explanation = engine.explain(
+                resolve_query(str(query)),
+                graph=self.graph if message.get("estimates", True) else None,
+            )
+        record = explanation.to_dict()
+        self._log_record(record)
+        return protocol.ok_response(request_id, "explanation", record)
+
+    # ------------------------------------------------------------------
+    def _log_record(self, record: dict[str, Any]) -> None:
+        if self._log_path is None:
+            return
+        from repro.api.results import append_record_jsonl
+
+        with self._log_lock:
+            append_record_jsonl(record, self._log_path)
+
+
+def wait_until_serving(
+    address: tuple[str, int], timeout: float = 10.0
+) -> None:
+    """Block until a server accepts connections at ``address`` (or raise).
+
+    Convenience for scripts that background ``repro serve`` and need a
+    readiness gate sturdier than sleeping.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection(address, timeout=1.0):
+                return
+        except OSError as exc:
+            last_error = exc
+            time.sleep(0.05)
+    raise TimeoutError(
+        f"no query server answering at {address} after {timeout}s: "
+        f"{last_error}"
+    )

@@ -1,6 +1,7 @@
 """The repro.api surface: registry, RunConfig, Session, serialization."""
 
 import json
+import threading
 
 import pytest
 
@@ -496,6 +497,166 @@ class TestResultSerialization:
         assert result.failed
         assert result.counters, "failure path must keep per-machine stats"
         assert RunResult.from_dict(result.to_dict()) == result
+
+
+class TestRecordLog:
+    """Satellite: append-mode JSONL + mixed RunResult/explanation replay."""
+
+    def _result(self, graph):
+        return (
+            repro.open(graph).with_cluster(machines=3)
+            .engine("rads").query("q2").run()
+        )
+
+    def test_append_mode_extends_an_existing_log(self, graph, tmp_path):
+        from repro.api import write_results_jsonl
+
+        path = tmp_path / "log.jsonl"
+        first, second = self._result(graph), self._result(graph)
+        assert write_results_jsonl([first], path) == 1
+        assert write_results_jsonl([second], path, append=True) == 1
+        assert read_results_jsonl(path) == [first, second]
+        # Without append, the file is truncated (the historic behaviour).
+        assert write_results_jsonl([first], path) == 1
+        assert read_results_jsonl(path) == [first]
+
+    def test_append_record_accepts_explanations_and_dicts(
+        self, graph, tmp_path
+    ):
+        from repro.api import append_record_jsonl, read_records_jsonl
+
+        path = tmp_path / "mixed.jsonl"
+        result = self._result(graph)
+        explanation = (
+            repro.open(graph).engine("rads").query("q4").explain()
+        )
+        append_record_jsonl(result, path)           # a live RunResult
+        append_record_jsonl(explanation, path)      # a live explanation
+        append_record_jsonl(explanation.to_dict(), path)  # a ready dict
+        replayed = read_records_jsonl(path)
+        assert [type(r).__name__ for r in replayed] == [
+            "RunResult", "QueryExplanation", "QueryExplanation"
+        ]
+        assert replayed[0] == result
+        assert replayed[1].to_dict() == explanation.to_dict()
+
+    def test_unrecognised_record_schema_raises(self, tmp_path):
+        from repro.api import read_records_jsonl
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"what": "is this"}\n')
+        with pytest.raises(ValueError, match="unrecognised record"):
+            read_records_jsonl(path)
+
+
+class TestThreadSafety:
+    """Satellite: registry resolution + session selection under threads."""
+
+    def test_registry_concurrent_register_and_resolve(self):
+        registry = EngineRegistry()
+        from repro.engines.single import SingleMachineEngine
+
+        errors = []
+
+        def register_engines(base):
+            try:
+                for i in range(20):
+                    registry.register(EngineSpec(
+                        name=f"eng{base}-{i}",
+                        engine_cls=SingleMachineEngine,
+                        aliases=(f"alias{base}-{i}",),
+                    ))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        def resolve_engines():
+            try:
+                for _ in range(200):
+                    registry.names()
+                    registry.known_names()
+                    len(registry)
+                    list(registry)
+                    for spec in registry.specs():
+                        registry.resolve(spec.name)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=register_engines, args=(base,))
+            for base in range(4)
+        ] + [threading.Thread(target=resolve_engines) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert len(registry) == 80
+        for base in range(4):
+            assert registry.resolve(f"ALIAS{base}-7").name == f"eng{base}-7"
+
+    def test_session_query_hammered_from_threads(self, graph):
+        """Concurrent .query()/.run() never tears the (engine, query) pair."""
+        session = repro.open(graph).with_cluster(machines=2)
+        session.engine("single")
+        expected = {}
+        for name in ("triangle", "q2"):
+            reference = (
+                repro.open(graph).with_cluster(machines=2)
+                .engine("single").query(name).run()
+            )
+            expected[reference.pattern_name] = reference.embedding_count
+        errors = []
+
+        def hammer(name):
+            try:
+                for _ in range(8):
+                    session.query(name)
+                    result = session.run()
+                    # Another thread may have swapped the query between
+                    # our two calls, but the run must be internally
+                    # consistent: a real (name, count) pair.
+                    assert result.pattern_name in expected
+                    assert (
+                        result.embedding_count
+                        == expected[result.pattern_name]
+                    )
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(name,))
+            for name in ("triangle", "q2") * 3
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        assert not errors
+
+    def test_session_selection_hammered_without_runs(self, graph):
+        """query()/engine()/configure() racing stays exception-free."""
+        session = repro.open(graph)
+        errors = []
+
+        def spin(seed):
+            try:
+                for i in range(30):
+                    session.query("triangle" if (seed + i) % 2 else "q2")
+                    session.engine("single" if (seed + i) % 3 else "rads")
+                    session.configure(collect=bool(i % 2))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=spin, args=(s,)) for s in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not errors
+        # The surviving state is one coherent selection.
+        assert session.run().pattern_name in ("triangle", "tailed_triangle")
 
 
 # ----------------------------------------------------------------------
