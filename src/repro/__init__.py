@@ -31,7 +31,7 @@ in their subpackages: :mod:`repro.engines`, :mod:`repro.bench`,
 
 from __future__ import annotations
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Lazily resolved re-exports: name -> (module, attribute).  Resolving on
 #: first access keeps ``import repro`` light and the import graph acyclic
@@ -55,6 +55,12 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "read_results_jsonl": ("repro.api.results", "read_results_jsonl"),
     "read_records_jsonl": ("repro.api.results", "read_records_jsonl"),
     "append_record_jsonl": ("repro.api.results", "append_record_jsonl"),
+    # -- the distributed shard runtime ---------------------------------
+    "SocketExecutor": ("repro.distributed.executor", "SocketExecutor"),
+    "ShardWorker": ("repro.distributed.worker", "ShardWorker"),
+    "ShardCoordinator": ("repro.distributed.coordinator", "ShardCoordinator"),
+    "DistributedError": ("repro.distributed.coordinator", "DistributedError"),
+    "stop_worker": ("repro.distributed.worker", "stop_worker"),
     # -- the query service layer ---------------------------------------
     "connect": ("repro.service.client", "connect"),
     "ServiceClient": ("repro.service.client", "ServiceClient"),

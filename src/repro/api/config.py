@@ -29,6 +29,9 @@ MIB = 1024 * 1024
 #: Named partitioner strategies accepted by :attr:`RunConfig.partitioner`.
 PARTITIONER_NAMES = ("metis", "hash", "labelprop")
 
+#: Execution backends accepted by :attr:`RunConfig.backend`.
+BACKEND_NAMES = ("auto", "serial", "process", "socket")
+
 
 class ConfigError(ValueError):
     """A RunConfig field failed validation."""
@@ -46,6 +49,12 @@ class RunConfig:
     - ``stragglers``: machine id -> slowdown factor (2.0 = half speed).
     - ``workers``: OS processes for independent per-machine work
       (0 = serial; results are backend-independent).
+    - ``backend``: execution backend — ``"auto"`` (default: serial for
+      ``workers == 0``, else the process pool), ``"serial"``,
+      ``"process"``, or ``"socket"`` (dispatch to remote
+      ``repro worker`` shard daemons; requires ``shards``).
+    - ``shards``: shard-worker addresses for the socket backend
+      (``"host:port"`` strings or ``(host, port)`` tuples).
     - ``seed``: feeds the named partitioners (and future stochastic knobs).
     - ``collect``: keep full embeddings on the result (not just counts).
     - ``limit``: keep at most this many collected embeddings.
@@ -57,6 +66,8 @@ class RunConfig:
     cost_model: CostModel | None = None
     stragglers: Mapping[int, float] | None = None
     workers: int = 0
+    backend: str = "auto"
+    shards: "tuple[str, ...] | None" = None
     seed: int = 0
     collect: bool = False
     limit: int | None = None
@@ -87,6 +98,35 @@ class RunConfig:
             raise ConfigError(
                 f"workers must be a non-negative integer, got {self.workers!r}"
             )
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; choose from "
+                f"{', '.join(BACKEND_NAMES)}"
+            )
+        if self.shards is not None:
+            if isinstance(self.shards, (str, bytes)) or not hasattr(
+                self.shards, "__iter__"
+            ):
+                raise ConfigError(
+                    f"shards must be a sequence of addresses, "
+                    f"got {self.shards!r}"
+                )
+            normalized_shards = tuple(
+                self._normalize_shard(shard) for shard in self.shards
+            )
+            if not normalized_shards:
+                raise ConfigError("shards must not be empty when given")
+            object.__setattr__(self, "shards", normalized_shards)
+        if self.backend == "socket" and not self.shards:
+            raise ConfigError(
+                "backend='socket' needs shards=[...] (repro worker "
+                "addresses like '127.0.0.1:7471')"
+            )
+        if self.shards and self.backend != "socket":
+            raise ConfigError(
+                f"shards only apply to the socket backend "
+                f"(got backend={self.backend!r})"
+            )
         if self.stragglers is not None:
             normalized = dict(self.stragglers)
             for machine, factor in normalized.items():
@@ -112,6 +152,21 @@ class RunConfig:
             raise ConfigError(
                 f"limit must be a positive integer or None, got {self.limit!r}"
             )
+
+    @staticmethod
+    def _normalize_shard(shard: Any) -> str:
+        """One shard address as a canonical ``host:port`` string."""
+        from repro.service.protocol import parse_address
+
+        try:
+            host, port = parse_address(
+                tuple(shard) if isinstance(shard, (list, tuple)) else shard
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"invalid shard address {shard!r}: {exc}"
+            ) from exc
+        return f"{host}:{port}"
 
     # ------------------------------------------------------------------
     @property
@@ -173,9 +228,28 @@ class RunConfig:
         return cluster
 
     def make_executor(self) -> "Executor":
-        """Execution backend for ``workers`` (caller owns closing it)."""
-        from repro.runtime.executor import get_executor
+        """The configured execution backend (caller owns closing it).
 
+        ``backend="auto"`` keeps the historic ``workers`` semantics
+        (0 = serial, N = process pool); ``"socket"`` connects a
+        :class:`~repro.distributed.executor.SocketExecutor` to the
+        configured ``shards`` (handshakes eagerly, so unreachable rosters
+        fail here, not mid-run).
+        """
+        from repro.runtime.executor import (
+            ProcessExecutor,
+            SerialExecutor,
+            get_executor,
+        )
+
+        if self.backend == "serial":
+            return SerialExecutor()
+        if self.backend == "process":
+            return ProcessExecutor(self.workers or None)
+        if self.backend == "socket":
+            from repro.distributed.executor import SocketExecutor
+
+            return SocketExecutor(self.shards)
         return get_executor(self.workers)
 
     def to_dict(self) -> dict[str, Any]:
@@ -196,6 +270,8 @@ class RunConfig:
                 None if self.stragglers is None else dict(self.stragglers)
             ),
             "workers": self.workers,
+            "backend": self.backend,
+            "shards": None if self.shards is None else list(self.shards),
             "seed": self.seed,
             "collect": self.collect,
             "limit": self.limit,

@@ -106,7 +106,11 @@ class EngineSpec:
     advertises that the engine can exploit a prebuilt offline index
     (Crystal's clique index) passed via factory kwargs; ``supports_labels``
     that it can serve the labeled-matching layer; ``distributed`` is False
-    for single-machine oracles.
+    for single-machine oracles — those are rejected on the socket backend
+    (``RunConfig(backend="socket")``) with a :class:`CapabilityError`
+    naming the engines that qualify, enforced at resolution time by
+    :class:`repro.api.session.Session` and
+    :class:`repro.service.scheduler.QueryScheduler`.
     """
 
     name: str

@@ -34,6 +34,7 @@ from repro.api.registry import (
     default_registry,
     suggest_names,
 )
+from repro.distributed.errors import DistributedError
 from repro.enumeration.labeled import LabeledPattern
 from repro.graph.graph import Graph
 from repro.graph.labeled import LabeledGraph
@@ -232,17 +233,28 @@ class Session:
     #: caps, stragglers, cost model and result mode are applied per run,
     #: so changing them (the common sweep axes) never repartitions.
     _PARTITION_FIELDS = ("machines", "partitioner", "seed")
+    #: RunConfig fields the cached executor depends on.
+    _EXECUTOR_FIELDS = ("workers", "backend", "shards")
 
     def with_config(self, config: RunConfig) -> "Session":
         """Swap in a whole RunConfig."""
         with self._lock:
             if config != self._config:
+                # Check before mutating: a rejected config must leave the
+                # session (selection and caches) fully intact.
+                if config.backend == "socket" and self._engine_name:
+                    self._registry.require(
+                        self._engine_name, distributed=True
+                    )
                 self._invalidate(
                     partition=any(
                         getattr(config, name) != getattr(self._config, name)
                         for name in self._PARTITION_FIELDS
                     ),
-                    executor=config.workers != self._config.workers,
+                    executor=any(
+                        getattr(config, name) != getattr(self._config, name)
+                        for name in self._EXECUTOR_FIELDS
+                    ),
                 )
                 self._config = config
         return self
@@ -280,6 +292,34 @@ class Session:
         """Select the execution backend (0 = serial)."""
         return self.configure(workers=workers)
 
+    def backend(
+        self,
+        name: str,
+        *,
+        shards: "list | tuple | None" = None,
+        workers: int | None = None,
+    ) -> "Session":
+        """Select the execution backend by name.
+
+        ``"auto"`` (the default config) derives from ``workers``;
+        ``"serial"``/``"process"`` force those backends; ``"socket"``
+        dispatches to remote ``repro worker`` shard daemons and needs
+        ``shards=[...]`` (``host:port`` strings or ``(host, port)``
+        tuples).  Selecting the socket backend with a non-distributed
+        engine already selected raises
+        :class:`~repro.api.registry.CapabilityError` (same rule as the
+        labeled-query capability, in either order)::
+
+            session.backend("socket", shards=["10.0.0.1:7471",
+                                              "10.0.0.2:7471"])
+        """
+        updates: dict[str, Any] = {"backend": name}
+        if shards is not None or name != "socket":
+            updates["shards"] = tuple(shards) if shards else None
+        if workers is not None:
+            updates["workers"] = workers
+        return self.configure(**updates)
+
     # -- engine / query selection --------------------------------------
     def engine(self, name: str, **engine_kwargs: Any) -> "Session":
         """Select an engine by registry name/alias (any case).
@@ -295,6 +335,8 @@ class Session:
             # Check before mutating: a rejected selection must leave the
             # previously selected engine (and its name) fully intact.
             self._check_label_capability(engine_name=canonical)
+            if self._config.backend == "socket":
+                self._registry.require(canonical, distributed=True)
             self._engine_name = canonical
             self._engine_kwargs = dict(engine_kwargs)
             self._engine = self._registry.create(
@@ -403,12 +445,19 @@ class Session:
                     collect_embeddings=collect,
                     limit=limit,
                 )
-            result = engine.run(
-                self.cluster(),
-                self._pattern,
-                collect_embeddings=collect,
-                executor=self._get_executor(),
-            )
+            try:
+                result = engine.run(
+                    self.cluster(),
+                    self._pattern,
+                    collect_embeddings=collect,
+                    executor=self._get_executor(),
+                )
+            except DistributedError:
+                # Total shard-roster loss: drop the dead executor so the
+                # next run() re-dials the configured shards (healing once
+                # workers come back) instead of failing forever.
+                self._invalidate(partition=False, executor=True)
+                raise
         if limit is not None and result.embeddings is not None:
             result.embeddings = result.embeddings[:limit]
         return result
@@ -478,18 +527,23 @@ class Session:
                     "engine_kwargs only configures registry-built "
                     "engines; it cannot apply to a ready engines mapping"
                 )
-            return run_query_grid(
-                self._graph,
-                dataset_name,
-                list(queries),
-                engines=dict(engines),
-                config=self._config,
-                check_consistency=check_consistency,
-                executor=self._get_executor(),
-                partition=self._get_partition(),
-                collect=self._config.collect,
-                limit=self._config.limit,
-            )
+            try:
+                return run_query_grid(
+                    self._graph,
+                    dataset_name,
+                    list(queries),
+                    engines=dict(engines),
+                    config=self._config,
+                    check_consistency=check_consistency,
+                    executor=self._get_executor(),
+                    partition=self._get_partition(),
+                    collect=self._config.collect,
+                    limit=self._config.limit,
+                )
+            except DistributedError:
+                # See run(): reconnect to the roster on the next call.
+                self._invalidate(partition=False, executor=True)
+                raise
 
     # -- serving -------------------------------------------------------
     def serve(

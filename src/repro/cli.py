@@ -4,13 +4,21 @@ Subcommands cover the library's workflows end to end::
 
     python -m repro generate --dataset roadnet --out road.npz
     python -m repro enumerate --graph road.npz --query q4 --engine rads \
-        --machines 10 --workers 4 [--json]
+        --machines 10 --workers 4 [--json]     # alias: `repro run`
     python -m repro explain --query q4 [--engine rads] [--graph road.npz] \
         [--json]
     python -m repro plan --query q5 [--graph road.npz]
     python -m repro profile --graph road.npz
     python -m repro serve --graph road.npz --port 7463 [--threads 4]
     python -m repro submit --port 7463 --query q4 [--engine rads] [--json]
+    python -m repro worker --port 7471 [--graph road.npz] [--workers 2]
+
+``worker`` starts a :mod:`repro.distributed` shard daemon; point
+``enumerate``/``run`` (or ``serve``) at a roster of them with
+``--backend socket --shards host:port,host:port`` to execute a query's
+independent per-machine work across hosts.  Counts and stats are
+bit-identical to the serial backend; a shard dying mid-run is survived
+(``distributed.resubmits`` in the result counters).
 
 ``serve`` starts the :mod:`repro.service` query server (concurrent
 scheduler + canonical-pattern result cache) over one graph; ``submit``
@@ -61,6 +69,7 @@ from repro.api import (
 )
 from repro.api import load_graph as _api_load_graph
 from repro.bench.datasets import DATASETS, dataset
+from repro.distributed.errors import DistributedError
 from repro.graph.graph import Graph
 from repro.graph.io import (
     save_adjacency_text,
@@ -123,6 +132,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shards(text: "str | None") -> "list[str] | None":
+    """``host:port,host:port`` (or bare ports) -> shard address list."""
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     try:
@@ -132,14 +148,18 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             memory_mb=args.memory_mb or None,
             stragglers={0: args.straggler} if args.straggler > 1.0 else None,
         ).with_workers(args.workers).configure(collect=args.show > 0)
+        session.backend(args.backend, shards=_parse_shards(args.shards))
         session.engine(args.engine).query(args.query)
     # ValueError covers ConfigError, CapabilityError (label-incapable
-    # engine) and the labeled-query-on-unlabeled-graph complaint — all
-    # user input problems that deserve a one-line message.
+    # or non-distributed engine) and the labeled-query-on-unlabeled-graph
+    # complaint — all user input problems deserving a one-line message.
     except (ValueError, UnknownEngineError, UnknownQueryError) as exc:
         raise SystemExit(str(exc))
-    with session:
-        result = session.run()
+    try:
+        with session:
+            result = session.run()
+    except DistributedError as exc:
+        raise SystemExit(f"distributed backend failed: {exc}")
     if args.json:
         payload = result.to_dict()
         if payload["embeddings"] is not None:
@@ -255,6 +275,37 @@ def _cmd_labeled(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed.worker import ShardWorker
+
+    try:
+        worker = ShardWorker(
+            host=args.host,
+            port=args.port,
+            graph=args.graph,
+            workers=args.workers,
+        )
+    # OSError covers the bind failures (port in use, bad host).
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    host, port = worker.address
+    held = worker.fingerprints()
+    # One parseable readiness line (scripts wait for it / read the port).
+    print(
+        f"worker serving on {host}:{port}"
+        + (f" graph {held[0][:12]}" if held else ""),
+        flush=True,
+    )
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.close()
+    print("worker stopped")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.cache import ResultCache
 
@@ -263,7 +314,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         session = open_session(graph).with_cluster(
             machines=args.machines,
             memory_mb=args.memory_mb or None,
-        ).with_workers(args.workers)
+        ).with_workers(args.workers).backend(
+            args.backend, shards=_parse_shards(args.shards)
+        )
         cache = (
             False
             if args.cache_capacity == 0
@@ -280,8 +333,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             log_path=args.log,
             start=False,
         )
-    # OSError covers the bind failures (port in use, bad host).
-    except (ValueError, OSError) as exc:
+    # OSError covers the bind failures (port in use, bad host);
+    # DistributedError an unreachable --shards roster.
+    except (ValueError, OSError, DistributedError) as exc:
         raise SystemExit(str(exc))
     host, port = server.address
     # One parseable readiness line (scripts wait for it / read the port).
@@ -381,7 +435,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True)
     gen.set_defaults(func=_cmd_generate)
 
-    enum = sub.add_parser("enumerate", help="run an engine on a graph")
+    enum = sub.add_parser("enumerate", aliases=["run"],
+                          help="run an engine on a graph")
     enum.add_argument("--graph", required=True)
     enum.add_argument("--query", required=True)
     enum.add_argument("--engine", default="RADS")
@@ -394,6 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "processes sharing the graph via shared memory "
                            "(0 = serial, the default); embedding counts "
                            "are identical for every worker count")
+    enum.add_argument("--backend", default="auto",
+                      choices=["auto", "serial", "process", "socket"],
+                      help="execution backend (auto derives from "
+                           "--workers; socket dispatches to remote "
+                           "`repro worker` daemons and needs --shards)")
+    enum.add_argument("--shards", default=None,
+                      help="comma-separated shard worker addresses for "
+                           "--backend socket (host:port,host:port)")
     enum.add_argument("--show", type=int, default=0,
                       help="print up to N embeddings")
     enum.add_argument("--json", action="store_true",
@@ -457,6 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=0,
                        help="OS processes per scheduler worker thread's "
                             "executor (0 = serial)")
+    serve.add_argument("--backend", default="auto",
+                       choices=["auto", "serial", "process", "socket"],
+                       help="execution backend for every scheduler "
+                            "worker thread (socket fans served queries "
+                            "out to --shards)")
+    serve.add_argument("--shards", default=None,
+                       help="comma-separated shard worker addresses for "
+                            "--backend socket (host:port,host:port)")
     serve.add_argument("--threads", type=int, default=4,
                        help="scheduler worker threads (concurrent queries)")
     serve.add_argument("--cache-capacity", type=int, default=128,
@@ -496,6 +567,24 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shutdown", action="store_true",
                         help="ask the server to stop serving and exit")
     submit.set_defaults(func=_cmd_submit)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a distributed shard worker daemon (the remote end of "
+             "--backend socket)",
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=7471,
+                        help="TCP port (0 = pick an ephemeral port; the "
+                             "readiness line prints the bound address)")
+    worker.add_argument("--graph", default=None,
+                        help="preload this graph so coordinators never "
+                             "ship it (otherwise graphs are shipped once "
+                             "and cached by fingerprint)")
+    worker.add_argument("--workers", type=int, default=0,
+                        help="OS processes executing tasks on this shard "
+                             "(0 = inline serial)")
+    worker.set_defaults(func=_cmd_worker)
     return parser
 
 

@@ -1,0 +1,658 @@
+"""Fault-tolerant shard roster: handshakes, heartbeats, batch dispatch.
+
+:class:`ShardCoordinator` owns the coordinator side of the socket
+backend.  It connects to a roster of :class:`~repro.distributed.worker.ShardWorker`
+daemons, verifies each handshake (protocol version + role), binds every
+worker to the active cluster's partition (shipping the graph once per
+worker, cached by fingerprint), and drives batches of tasks with a
+bounded per-shard in-flight window.
+
+Fault tolerance is scoped to *connection-level* failures — a worker that
+dies (EOF, reset) or hangs past ``task_timeout`` is removed from the
+roster and its outstanding tasks are resubmitted to the survivors.
+Re-execution is safe because every task is a pure function of the
+shipped base snapshot, so results stay bit-identical whether or not a
+resubmission happened.  Failures *reported by* a healthy worker (a task
+raised, a payload would not pickle) are not retried: they propagate in
+task order exactly like the process backend.  Losing the whole roster
+raises :class:`DistributedError`.
+
+The coordinator keeps cumulative fault counters
+(``distributed.resubmits``, ``distributed.lost_workers``) which
+:class:`~repro.distributed.executor.SocketExecutor` surfaces on
+``RunResult.counters`` whenever they advance.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import weakref
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.distributed import protocol
+from repro.distributed.errors import DistributedError
+from repro.runtime.delta import capture_state
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.cluster.cluster import Cluster
+    from repro.partition.partition import GraphPartition
+
+__all__ = ["DistributedError", "ShardCoordinator"]
+
+#: Counter names surfaced on RunResult.counters by the socket backend.
+RESUBMITS = "distributed.resubmits"
+LOST_WORKERS = "distributed.lost_workers"
+
+
+class _Shard:
+    """One worker connection: socket, streams, liveness, bind state."""
+
+    def __init__(self, address: tuple[str, int]):
+        self.address = address
+        self.sock: socket.socket | None = None
+        self.rfile: Any = None
+        self.wfile: Any = None
+        self.hello: dict[str, Any] = {}
+        self.alive = False
+        self.bound_key: tuple | None = None
+        self.last_error: str | None = None
+        #: Serializes use of the connection: a batch drive thread holds it
+        #: for the whole batch; the heartbeat probes with a non-blocking
+        #: acquire and skips busy shards.
+        self.lock = threading.Lock()
+        self._next_id = 0
+
+    @property
+    def name(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def next_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def close(self) -> None:
+        for stream in (self.rfile, self.wfile, self.sock):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self.sock = self.rfile = self.wfile = None
+        self.alive = False
+
+
+class _Batch:
+    """Shared state of one :meth:`ShardCoordinator.run_batch` call.
+
+    Task indices are dealt round-robin into one dedicated *share* per
+    shard — so every listed shard is actually exercised each batch and a
+    dead one cannot hide behind faster peers — plus a shared overflow
+    ``pool`` that receives a failed shard's outstanding work and feeds
+    any shard whose own share has drained (work stealing keeps the batch
+    work-conserving after a loss).
+
+    ``ctx_data`` is the packed ``(base snapshot, task fn)`` pair — packed
+    once here and shipped once per shard (on its first task message,
+    tagged ``token``), never once per task: the snapshot grows with the
+    cluster, so per-task shipping would make batch serialization and wire
+    bytes quadratic in the machine count.
+    """
+
+    def __init__(
+        self,
+        token: str,
+        ctx_data: str,
+        tasks: Sequence[Any],
+        shard_names: Sequence[str],
+    ):
+        self.token = token
+        self.ctx_data = ctx_data
+        self.tasks = tasks
+        self.cond = threading.Condition()
+        self.shares: dict[str, deque[int]] = {
+            name: deque() for name in shard_names
+        }
+        for index in range(len(tasks)):
+            self.shares[shard_names[index % len(shard_names)]].append(index)
+        self.pool: deque[int] = deque()
+        self.results: dict[int, tuple] = {}
+        self.failure: BaseException | None = None
+        self.done = not tasks
+
+    def take(self, name: str) -> int | None:
+        """Next task index for shard ``name`` (own share, then the pool)."""
+        share = self.shares[name]
+        if share:
+            return share.popleft()
+        if self.pool:
+            return self.pool.popleft()
+        return None
+
+    def has_work(self, name: str) -> bool:
+        return bool(self.shares[name] or self.pool)
+
+
+class ShardCoordinator:
+    """Manages the worker roster and dispatches task batches.
+
+    Parameters
+    ----------
+    shards:
+        Worker addresses — ``(host, port)`` tuples, ``"host:port"``
+        strings, or bare port numbers (localhost).
+    window:
+        Per-shard in-flight task cap (pipelining depth).
+    connect_timeout:
+        Seconds allowed for TCP connect + handshake per worker.
+    task_timeout:
+        Seconds to wait for any single response before declaring the
+        shard *hung* and resubmitting its work (``None`` = trust EOF).
+    ship_graph:
+        Ship the data graph to workers that do not hold it (cached by
+        fingerprint, so each worker receives it at most once).  With
+        ``False`` a worker lacking the graph is a handshake rejection:
+        :class:`DistributedError` naming the expected and held
+        fingerprints.
+    heartbeat_interval:
+        Seconds between background pings of idle workers (``None`` = no
+        heartbeat thread); a worker that fails a ping leaves the roster.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence["tuple[str, int] | str | int"],
+        *,
+        window: int = 4,
+        connect_timeout: float = 10.0,
+        task_timeout: float | None = 600.0,
+        ship_graph: bool = True,
+        heartbeat_interval: float | None = None,
+    ):
+        if not shards:
+            raise DistributedError("the shard roster is empty")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.connect_timeout = connect_timeout
+        self.task_timeout = task_timeout
+        self.ship_graph = ship_graph
+        self._shards = [_Shard(protocol.parse_address(a)) for a in shards]
+        self._counters = {RESUBMITS: 0, LOST_WORKERS: 0}
+        self._counter_lock = threading.Lock()
+        self._batch_lock = threading.Lock()
+        self._batch_seq = 0
+        self._closed = False
+        # Fingerprint/owner digests are cached per partition object (the
+        # hashes cover whole CSR/owner arrays; compute once, not per batch).
+        self._bind_cache: "weakref.WeakKeyDictionary[GraphPartition, tuple[str, str]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        for shard in self._shards:
+            try:
+                self._connect(shard)
+            except (OSError, protocol.ProtocolError) as exc:
+                self._lose(shard, exc)
+        if not self.live_shards():
+            detail = "; ".join(
+                f"{s.name}: {s.last_error}" for s in self._shards
+            )
+            raise DistributedError(
+                f"no shard worker reachable out of {len(self._shards)} "
+                f"({detail})"
+            )
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
+        if heartbeat_interval is not None:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(heartbeat_interval,),
+                name="repro-shard-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    # ------------------------------------------------------------------
+    # Roster
+    # ------------------------------------------------------------------
+    def live_shards(self) -> list[_Shard]:
+        """Roster members still believed alive."""
+        return [shard for shard in self._shards if shard.alive]
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Cumulative fault counters (resubmits, lost workers)."""
+        with self._counter_lock:
+            return dict(self._counters)
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[counter] += amount
+
+    def _connect(self, shard: _Shard) -> None:
+        """TCP connect + handshake verification (version and role)."""
+        sock = socket.create_connection(
+            shard.address, timeout=self.connect_timeout
+        )
+        shard.sock = sock
+        shard.rfile = sock.makefile("rb")
+        shard.wfile = sock.makefile("wb")
+        hello = protocol.read_message(shard.rfile)
+        if not hello or hello.get("kind") != "hello":
+            shard.close()
+            raise protocol.ProtocolError(
+                f"no hello from {shard.name}; is that a repro shard worker?"
+            )
+        if hello.get("role") != protocol.WORKER_ROLE:
+            shard.close()
+            raise protocol.ProtocolError(
+                f"{shard.name} is a {hello.get('role', 'unknown')!r} "
+                f"endpoint, not a shard worker"
+            )
+        if hello.get("version") != protocol.WORKER_PROTOCOL_VERSION:
+            shard.close()
+            raise protocol.ProtocolError(
+                f"protocol version mismatch at {shard.name}: worker speaks "
+                f"{hello.get('version')}, coordinator "
+                f"{protocol.WORKER_PROTOCOL_VERSION}"
+            )
+        sock.settimeout(self.task_timeout)
+        shard.hello = hello
+        shard.alive = True
+        shard.last_error = None
+
+    def _lose(self, shard: _Shard, exc: BaseException) -> None:
+        """Remove a shard from the roster (fault path).
+
+        Counted whether the shard died mid-service or never answered the
+        initial handshake: a roster member the operator configured but
+        cannot be used is a lost worker either way (the executor surfaces
+        the counter on the next run's results).  Idempotent — a shard the
+        heartbeat already buried (callers race it for ``shard.lock``) is
+        not re-counted and keeps its original cause of death.
+        """
+        if not shard.alive and shard.last_error is not None:
+            return
+        shard.last_error = f"{type(exc).__name__}: {exc}"
+        shard.close()
+        self._bump(LOST_WORKERS)
+
+    # ------------------------------------------------------------------
+    # Request/response plumbing (caller holds shard.lock)
+    # ------------------------------------------------------------------
+    def _request(
+        self, shard: _Shard, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        """One synchronous request on an otherwise idle connection."""
+        protocol.write_message(shard.wfile, message)
+        return self._read(shard, expect=message["id"])
+
+    def _read(
+        self, shard: _Shard, *, expect: int | None = None
+    ) -> dict[str, Any]:
+        response = protocol.read_message(shard.rfile)
+        if response is None:
+            raise protocol.ProtocolError(
+                f"shard {shard.name} closed the connection"
+            )
+        if expect is not None and response.get("id") != expect:
+            raise protocol.ProtocolError(
+                f"out-of-sync response from {shard.name}: expected id "
+                f"{expect}, got {response.get('id')}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def _bind_payload(self, cluster: "Cluster") -> tuple[str, str]:
+        """(graph fingerprint, owner digest) for a cluster's partition."""
+        from repro.distributed.worker import owner_digest
+
+        partition = cluster.partition
+        cached = self._bind_cache.get(partition)
+        if cached is None:
+            cached = (
+                partition.graph.fingerprint(),
+                owner_digest(partition.owner),
+            )
+            self._bind_cache[partition] = cached
+        return cached
+
+    def _ensure_bound(self, cluster: "Cluster") -> None:
+        """Bind every live shard to ``cluster``'s partition + cost model."""
+        fingerprint, owners = self._bind_payload(cluster)
+        key = (
+            fingerprint, owners, cluster.cost_model, cluster.memory_capacity
+        )
+        # Bind payloads packed at most once per sweep, not once per shard
+        # — the ownership map is O(|V|) and a shipped graph is the whole
+        # CSR.  Scoped to this call so the coordinator never retains a
+        # second full-graph encoding between binds.
+        packed: dict[str, str] = {}
+        for shard in self.live_shards():
+            if shard.bound_key == key:
+                continue
+            with shard.lock:
+                if not shard.alive:
+                    continue  # lost by the heartbeat since the snapshot
+                try:
+                    self._bind(shard, cluster, fingerprint, packed)
+                    shard.bound_key = key
+                except (OSError, protocol.ProtocolError) as exc:
+                    self._lose(shard, exc)
+
+    def _bind(
+        self,
+        shard: _Shard,
+        cluster: "Cluster",
+        fingerprint: str,
+        packed: dict[str, str],
+    ) -> None:
+        data = packed.get("data")
+        if data is None:
+            data = packed["data"] = protocol.pack({
+                "owner": cluster.partition.owner,
+                "cost_model": cluster.cost_model,
+                "memory_capacity": cluster.memory_capacity,
+            })
+        message = {
+            "op": "bind",
+            "id": shard.next_id(),
+            "fingerprint": fingerprint,
+            "data": data,
+        }
+        response = self._request(shard, message)
+        if response.get("ok"):
+            return
+        if response.get("code") != "need-graph":
+            raise DistributedError(
+                f"shard {shard.name} rejected the bind: "
+                f"{response.get('error')}"
+            )
+        if not self.ship_graph:
+            held = response.get("have") or []
+            raise DistributedError(
+                f"graph fingerprint mismatch at shard {shard.name}: "
+                f"coordinator expects {fingerprint!r} but the worker "
+                f"holds {held!r} (and graph shipping is disabled)"
+            )
+        message = dict(message, id=shard.next_id())
+        graph_payload = packed.get("graph")
+        if graph_payload is None:
+            graph_payload = packed["graph"] = protocol.pack(cluster.graph)
+        message["graph"] = graph_payload
+        response = self._request(shard, message)
+        if not response.get("ok"):
+            raise DistributedError(
+                f"shard {shard.name} rejected the shipped graph: "
+                f"{response.get('error')}"
+            )
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, cluster: "Cluster", fn: Callable, tasks: Sequence[Any]
+    ) -> list[tuple]:
+        """Run one batch; ``(status, payload, delta)`` per task, in order.
+
+        Tasks are dealt to shard drive threads from one shared queue
+        (each thread pipelines up to ``window`` in-flight tasks on its
+        connection); a shard that fails mid-batch has its outstanding
+        tasks requeued for the survivors.
+        """
+        if self._closed:
+            raise DistributedError("coordinator is closed")
+        if not tasks:
+            return []
+        with self._batch_lock:
+            self._ensure_bound(cluster)
+            live = self.live_shards()
+            if not live:
+                raise DistributedError(self._roster_obituary())
+            self._batch_seq += 1
+            try:
+                ctx_data = protocol.pack((capture_state(cluster), fn))
+            except Exception as exc:
+                # Affects every task identically (like an unpicklable fn
+                # at ProcessExecutor's submit): fail the batch loudly.
+                raise DistributedError(
+                    f"batch context (cluster snapshot + task fn) is not "
+                    f"serializable: {exc}"
+                ) from exc
+            batch = _Batch(
+                f"batch-{self._batch_seq}", ctx_data, tasks,
+                [shard.name for shard in live],
+            )
+            threads = [
+                threading.Thread(
+                    target=self._drive,
+                    args=(shard, batch),
+                    name=f"repro-shard-{shard.name}",
+                    daemon=True,
+                )
+                for shard in live
+            ]
+            for thread in threads:
+                thread.start()
+            with batch.cond:
+                while not batch.done:
+                    batch.cond.wait()
+                batch.cond.notify_all()
+            for thread in threads:
+                thread.join()
+            if batch.failure is not None:
+                raise batch.failure
+            return [batch.results[i] for i in range(len(tasks))]
+
+    def _drive(self, shard: _Shard, batch: _Batch) -> None:
+        """One shard's batch loop: deal, pipeline, collect, survive."""
+        inflight: dict[int, int] = {}
+        ctx_sent = False
+        with shard.lock:
+            try:
+                if not shard.alive:
+                    # The heartbeat buried this shard between run_batch's
+                    # roster snapshot and this thread acquiring the lock:
+                    # take the fault path so its share is rerouted.
+                    raise protocol.ProtocolError(
+                        "lost before the batch reached it"
+                    )
+                while True:
+                    send_now: list[int] = []
+                    with batch.cond:
+                        while True:
+                            if batch.done:
+                                return
+                            while len(inflight) + len(send_now) < self.window:
+                                index = batch.take(shard.name)
+                                if index is None:
+                                    break
+                                send_now.append(index)
+                            if send_now or inflight:
+                                break
+                            # Idle but the batch is unfinished: stay
+                            # available for resubmitted work.
+                            batch.cond.wait(timeout=0.1)
+                    # Register every dealt index as in-flight *before*
+                    # packing or writing anything: if a write fails
+                    # mid-loop, the except path below requeues the whole
+                    # remainder instead of losing it (which would hang
+                    # the batch).
+                    dealt = []
+                    for index in send_now:
+                        message_id = shard.next_id()
+                        inflight[message_id] = index
+                        dealt.append((message_id, index))
+                    for message_id, index in dealt:
+                        try:
+                            data = protocol.pack(batch.tasks[index])
+                        except Exception as exc:
+                            # Unserializable task: a per-task failure
+                            # (surfaced in task order, like the process
+                            # backend), not a shard fault.
+                            inflight.pop(message_id)
+                            self._record(batch, index, (
+                                "transport_error",
+                                RuntimeError(
+                                    f"task {index} not serializable: {exc}"
+                                ),
+                                None,
+                            ))
+                            continue
+                        message = {
+                            "op": "task", "id": message_id,
+                            "batch": batch.token, "data": data,
+                        }
+                        if not ctx_sent:
+                            # First task this connection sees for the
+                            # batch carries the shared (base, fn) context.
+                            message["ctx"] = batch.ctx_data
+                            ctx_sent = True
+                        protocol.write_message(shard.wfile, message)
+                    if not inflight:
+                        continue
+                    response = self._read(shard)
+                    if response.get("id") not in inflight:
+                        raise protocol.ProtocolError(
+                            f"shard {shard.name} answered unknown task id "
+                            f"{response.get('id')}"
+                        )
+                    index = inflight.pop(response["id"])
+                    if response.get("ok"):
+                        triple = protocol.unpack(response["data"])
+                    else:
+                        # The worker is healthy but the task failed there
+                        # (pool crash, unserializable result).  Surfaced
+                        # in task order, like the process backend; never
+                        # resubmitted (a poison task would cascade).
+                        triple = (
+                            "transport_error",
+                            RuntimeError(
+                                f"shard {shard.name}: "
+                                f"{response.get('error')}"
+                            ),
+                            None,
+                        )
+                    self._record(batch, index, triple)
+            except (
+                OSError, ValueError, AttributeError, protocol.ProtocolError
+            ) as exc:
+                # ValueError/AttributeError cover streams a concurrent
+                # loss already closed or nulled ("I/O operation on closed
+                # file", NoneType writes) — a shard fault, not a bug.
+                self._lose(shard, exc)
+                with batch.cond:
+                    # Outstanding (sent but unanswered) tasks are
+                    # resubmitted to the survivors; the dead shard's
+                    # unsent share is simply rerouted.
+                    if inflight:
+                        batch.pool.extend(sorted(inflight.values()))
+                        self._bump(RESUBMITS, len(inflight))
+                    share = batch.shares[shard.name]
+                    batch.pool.extend(share)
+                    share.clear()
+                    if not self.live_shards() and not batch.done:
+                        batch.failure = DistributedError(
+                            "all shard workers lost mid-batch: "
+                            + self._roster_obituary()
+                        )
+                        batch.done = True
+                    batch.cond.notify_all()
+            except BaseException as exc:  # noqa: BLE001 - must not hang
+                # A coordinator-side failure (MemoryError, a bug): fail
+                # the whole batch loudly — a silently dead drive thread
+                # would leave run_batch waiting forever.
+                with batch.cond:
+                    if not batch.done:
+                        batch.failure = exc
+                        batch.done = True
+                    batch.cond.notify_all()
+
+    @staticmethod
+    def _record(batch: _Batch, index: int, triple: tuple) -> None:
+        """File one task's result and complete the batch when it is last."""
+        with batch.cond:
+            batch.results[index] = triple
+            if len(batch.results) == len(batch.tasks):
+                batch.done = True
+            batch.cond.notify_all()
+
+    def _roster_obituary(self) -> str:
+        return "; ".join(
+            f"{shard.name}: {shard.last_error or 'lost'}"
+            for shard in self._shards
+            if not shard.alive
+        ) or "no shards configured"
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def heartbeat(self) -> int:
+        """Ping idle live shards once; returns how many answered.
+
+        Busy shards (mid-batch) are skipped — their liveness is proven by
+        the batch traffic itself.  A shard failing its ping leaves the
+        roster (``distributed.lost_workers``).
+        """
+        answered = 0
+        for shard in self.live_shards():
+            if not shard.lock.acquire(blocking=False):
+                answered += 1  # busy == demonstrably alive
+                continue
+            try:
+                if not shard.alive:
+                    continue  # buried since the roster snapshot
+                response = self._request(
+                    shard, {"op": "ping", "id": shard.next_id()}
+                )
+                if not response.get("ok"):
+                    raise protocol.ProtocolError(
+                        f"ping rejected: {response.get('error')}"
+                    )
+                answered += 1
+            except (OSError, protocol.ProtocolError) as exc:
+                self._lose(shard, exc)
+            finally:
+                shard.lock.release()
+        return answered
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._heartbeat_stop.wait(interval):
+            if self._closed:
+                return
+            self.heartbeat()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Disconnect from every worker (the daemons keep running).
+
+        Sockets are shut down *before* taking the per-shard locks: a
+        heartbeat (or batch) thread blocked in ``recv`` on a hung shard
+        holds its lock for up to ``task_timeout`` — the shutdown forces
+        that read to return immediately instead of waiting it out.
+        """
+        self._closed = True
+        self._heartbeat_stop.set()
+        for shard in self._shards:
+            sock = shard.sock
+            if sock is not None:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=5)
+            self._heartbeat_thread = None
+        for shard in self._shards:
+            with shard.lock:
+                shard.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

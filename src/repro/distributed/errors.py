@@ -1,0 +1,15 @@
+"""Exception types for the distributed shard runtime.
+
+Kept in a dependency-free module so that coordinator-facing callers
+(``repro.api.session``, ``repro.cli``) can import the error type without
+pulling in the socket/coordinator machinery — which itself imports the
+service and api layers and would otherwise form an import cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DistributedError"]
+
+
+class DistributedError(RuntimeError):
+    """The shard roster cannot serve: handshake failure or total loss."""

@@ -1,0 +1,109 @@
+"""Coordinator <-> shard-worker wire protocol.
+
+The transport reuses the query service's JSON-lines framing verbatim
+(:mod:`repro.service.protocol`: one UTF-8 JSON object per line, versioned
+hello on connect) and rides binary simulation payloads — cluster-state
+snapshots, task functions/arguments, :class:`~repro.runtime.delta.ClusterDelta`
+records — inside it as base64-encoded pickles.  JSON keeps the framing,
+versioning and error reporting debuggable with ``nc``; pickle keeps the
+payloads exactly the objects the in-process backends already exchange, so
+the socket backend is bit-identical to the process pool by construction.
+
+On connect the **worker** greets with one hello line::
+
+    {"kind": "hello", "version": 1, "role": "shard-worker",
+     "graphs": ["<fingerprint>", ...], "workers": 0, "pid": 12345}
+
+Requests (coordinator -> worker) then follow; every response echoes
+``id`` and carries ``ok``::
+
+    {"op": "bind", "id": 1, "fingerprint": "<sha256>",
+     "data": "<b64 pickle {owner, cost_model, memory_capacity}>",
+     "graph": "<b64 pickle Graph, only when shipping>"}
+    {"op": "task", "id": 2, "batch": "batch-7",
+     "data": "<b64 pickle args>",
+     "ctx": "<b64 pickle (base, fn), first task per connection only>"}
+    {"op": "ping", "id": 3}
+    {"op": "stats", "id": 4}
+    {"op": "shutdown", "id": 5}
+
+    {"id": 1, "ok": true, "kind": "bound",
+     "result": {"fingerprint": "...", "cached_graph": true}}
+    {"id": 1, "ok": false, "error": "...", "code": "need-graph",
+     "have": ["<fingerprint>", ...]}         # re-bind with the graph
+    {"id": 2, "ok": true, "kind": "delta",
+     "data": "<b64 pickle (status, payload, delta)>"}
+    {"id": n, "ok": false, "error": "human-readable message"}
+
+A worker answers ``task`` responses in completion order (its process pool
+may finish them out of order); the coordinator matches on ``id``.  A
+``bind`` is a barrier: it is answered only once every in-flight task on
+that connection has drained.  The batch-shared context — the cluster-state
+snapshot and the task function — rides on the *first* task message each
+connection sees for a ``batch`` token and is cached for the rest: the
+snapshot grows with the simulated machine count, so shipping it per task
+would make a batch's wire bytes quadratic in cluster size.
+
+Security note: task payloads are **pickles executed on the worker** — the
+shard protocol assumes a trusted cluster (the same trust the process-pool
+backend places in ``fork``).  Do not expose worker ports beyond it.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from typing import Any
+
+from repro.service.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+    parse_address,
+    read_message,
+    write_message,
+)
+
+__all__ = [
+    "ProtocolError",
+    "WORKER_OPS",
+    "WORKER_PROTOCOL_VERSION",
+    "WORKER_ROLE",
+    "decode",
+    "encode",
+    "error_response",
+    "ok_response",
+    "pack",
+    "parse_address",
+    "read_message",
+    "unpack",
+    "write_message",
+]
+
+#: Bumped on incompatible wire changes; echoed in the worker hello and
+#: checked by the coordinator before any bind.
+WORKER_PROTOCOL_VERSION = 1
+
+#: Operations a shard worker dispatches on.
+WORKER_OPS = ("bind", "task", "ping", "stats", "shutdown")
+
+#: ``role`` advertised in the worker hello (distinguishes a shard worker
+#: from a query server answering on the same port by mistake).
+WORKER_ROLE = "shard-worker"
+
+
+def pack(obj: Any) -> str:
+    """Pickle ``obj`` and wrap it for the JSON envelope (base64 text)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack(text: str) -> Any:
+    """Inverse of :func:`pack` (raises :class:`ProtocolError` on garbage)."""
+    try:
+        return pickle.loads(base64.b64decode(text))
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise ProtocolError(f"undecodable binary payload: {exc}") from exc

@@ -33,6 +33,76 @@ def _instances_task(cluster: Cluster, args: tuple) -> list[tuple[int, ...]]:
     return runner.star_instances(t, unit)
 
 
+def _shuffle_map_task(cluster: Cluster, args: tuple) -> tuple:
+    """Group one source machine's tuples by join key (independent task).
+
+    The map side of the shuffle: both sides' tuples are grouped by hash
+    of the join key per destination machine, and the per-destination
+    payload bytes are metered (grouped once per distinct key, the paper's
+    Exp-1 compression).  Each task reads only source machine ``t``'s
+    tuples and charges only machine ``t`` (single-writer discipline), so
+    the map loops run on any execution backend.
+    """
+    (
+        t, left_t, right_t, left_vertices, right_vertices, shared,
+        star_compressed, num_machines,
+    ) = args
+    model = cluster.cost_model
+    machine = cluster.machine(t)
+    left_pos = {u: i for i, u in enumerate(left_vertices)}
+    right_pos = {u: i for i, u in enumerate(right_vertices)}
+    key_bytes = model.embedding_bytes(len(shared))
+    lpayload = model.embedding_bytes(len(left_vertices) - len(shared))
+    rpayload = model.embedding_bytes(len(right_vertices) - len(shared))
+    lbytes = model.embedding_bytes(len(left_vertices))
+    rbytes = model.embedding_bytes(len(right_vertices))
+
+    def key_of(tup: tuple[int, ...], pos: dict[int, int]) -> tuple[int, ...]:
+        return tuple(tup[pos[u]] for u in shared)
+
+    grouped_left: dict[int, dict[tuple, list[tuple[int, ...]]]] = (
+        defaultdict(lambda: defaultdict(list))
+    )
+    grouped_right: dict[int, dict[tuple, list[tuple[int, ...]]]] = (
+        defaultdict(lambda: defaultdict(list))
+    )
+    row = np.zeros(num_machines, dtype=np.int64)
+    sent_keys: set[tuple[tuple, int]] = set()
+    for tup in left_t:
+        key = key_of(tup, left_pos)
+        dst = hash(key) % num_machines
+        grouped_left[dst][key].append(tup)
+        row[dst] += lpayload
+        if (key, dst) not in sent_keys:
+            sent_keys.add((key, dst))
+            row[dst] += key_bytes
+    for tup in right_t:
+        key = key_of(tup, right_pos)
+        dst = hash(key) % num_machines
+        grouped_right[dst][key].append(tup)
+        if not star_compressed:
+            row[dst] += rpayload
+        if (key, dst) not in sent_keys:
+            sent_keys.add((key, dst))
+            row[dst] += key_bytes
+            if star_compressed:
+                # A star side joined on its pivot ships in *compressed*
+                # form: one adjacency list per centre instead of deg^2
+                # materialised tuples.
+                centre = tup[0]
+                row[dst] += model.adjacency_bytes(
+                    cluster.graph.degree(centre)
+                )
+    machine.charge_ops(len(left_t) + len(right_t), "shuffle_ops")
+    machine.free(len(left_t) * lbytes + len(right_t) * rbytes)
+    return (
+        t,
+        {dst: dict(groups) for dst, groups in grouped_left.items()},
+        {dst: dict(groups) for dst, groups in grouped_right.items()},
+        row,
+    )
+
+
 def _join_reduce_task(cluster: Cluster, args: tuple) -> list[tuple[int, ...]]:
     """Local hash join at one reducer (independent task)."""
     (
@@ -281,21 +351,24 @@ class DistributedJoinRunner:
         shared = tuple(v for v in right_vertices if v in left_vertices)
         if not shared:
             raise ValueError("join units must share at least one vertex")
-        left_pos = {u: i for i, u in enumerate(left_vertices)}
         right_pos = {u: i for i, u in enumerate(right_vertices)}
         out_vertices = left_vertices + tuple(
             v for v in right_vertices if v not in left_vertices
         )
         new_right = [v for v in right_vertices if v not in left_vertices]
 
-        def key_of(tup: tuple[int, ...], pos: dict[int, int]) -> tuple[int, ...]:
-            return tuple(tup[pos[u]] for u in shared)
-
         # Shuffle phase: both sides routed by hash of the join key.  Tuples
         # are *grouped by key* before hitting the wire, so each distinct key
         # is shipped once and tuples carry only their non-key columns (the
         # paper, Exp-1: "the grouped intermediate results of TwinTwig and
-        # SEED significantly reduced the cost of network traffic").
+        # SEED significantly reduced the cost of network traffic").  The
+        # map-side grouping is per-source-machine independent, so it runs
+        # as one task per source machine on the active execution backend;
+        # merging in task (= machine) order reproduces the exact key and
+        # tuple orders of the historic coordinator-side loop.
+        star_compressed = (
+            right_unit.kind == "star" and shared == (right_unit.pivot,)
+        )
         shuffled_left: dict[int, dict[tuple, list[tuple[int, ...]]]] = {
             t: defaultdict(list) for t in range(num_machines)
         }
@@ -303,46 +376,24 @@ class DistributedJoinRunner:
             t: defaultdict(list) for t in range(num_machines)
         }
         payload = np.zeros((num_machines, num_machines), dtype=np.int64)
-        key_bytes = model.embedding_bytes(len(shared))
-        lpayload = model.embedding_bytes(len(left_vertices) - len(shared))
-        rpayload = model.embedding_bytes(len(right_vertices) - len(shared))
-        for t in range(num_machines):
-            machine = cluster.machine(t)
-            lbytes = model.embedding_bytes(len(left_vertices))
-            rbytes = model.embedding_bytes(len(right_vertices))
-            sent_keys: set[tuple[tuple, int]] = set()
-            for tup in left[t]:
-                key = key_of(tup, left_pos)
-                dst = hash(key) % num_machines
-                shuffled_left[dst][key].append(tup)
-                payload[t, dst] += lpayload
-                if (key, dst) not in sent_keys:
-                    sent_keys.add((key, dst))
-                    payload[t, dst] += key_bytes
-            # A star side joined on its pivot ships in *compressed* form:
-            # one adjacency list per centre instead of deg^2 materialised
-            # tuples (TwinTwig generates star instances lazily from the
-            # adjacency list at the reducer).
-            star_compressed = (
-                right_unit.kind == "star"
-                and shared == (right_unit.pivot,)
-            )
-            for tup in right[t]:
-                key = key_of(tup, right_pos)
-                dst = hash(key) % num_machines
-                shuffled_right[dst][key].append(tup)
-                if not star_compressed:
-                    payload[t, dst] += rpayload
-                if (key, dst) not in sent_keys:
-                    sent_keys.add((key, dst))
-                    payload[t, dst] += key_bytes
-                    if star_compressed:
-                        centre = tup[0]
-                        payload[t, dst] += model.adjacency_bytes(
-                            cluster.graph.degree(centre)
-                        )
-            machine.charge_ops(len(left[t]) + len(right[t]), "shuffle_ops")
-            machine.free(len(left[t]) * lbytes + len(right[t]) * rbytes)
+        for t, grouped_left, grouped_right, row in self.executor.run_tasks(
+            cluster,
+            _shuffle_map_task,
+            [
+                (
+                    t, left[t], right[t], left_vertices, right_vertices,
+                    shared, star_compressed, num_machines,
+                )
+                for t in range(num_machines)
+            ],
+        ):
+            for dst, groups in grouped_left.items():
+                for key, items in groups.items():
+                    shuffled_left[dst][key].extend(items)
+            for dst, groups in grouped_right.items():
+                for key, items in groups.items():
+                    shuffled_right[dst][key].extend(items)
+            payload[t, :] = row
         for t in range(num_machines):
             incoming = (
                 sum(len(v) for v in shuffled_left[t].values())

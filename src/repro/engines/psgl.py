@@ -27,6 +27,26 @@ from repro.query.symmetry import constraint_map
 from repro.runtime.executor import Executor
 
 
+def _seed_task(cluster: Cluster, args: tuple) -> tuple:
+    """Superstep-0 seeding at one owner machine (independent task).
+
+    Each seed routes to the owner of its own vertex — which is exactly
+    where it is generated — so seeding is per-machine independent and
+    runs on the active execution backend like the later supersteps.
+    """
+    t, start_degree = args
+    local = cluster.partition.machine(t)
+    machine = cluster.machine(t)
+    seeds = [
+        (int(v),)
+        for v in local.owned_vertices
+        if local.degree(int(v)) >= start_degree
+    ]
+    machine.charge_ops(len(local.owned_vertices), "seed_ops")
+    machine.allocate(len(seeds) * 8, "partials_bytes")
+    return t, seeds
+
+
 def _expand_task(cluster: Cluster, args: tuple) -> tuple:
     """Superstep expansion at one anchor owner (independent task)."""
     t, partials_t, q, anchor = args
@@ -125,7 +145,6 @@ class PSgLEngine(EnumerationEngine):
         collect: bool,
         executor: Executor,
     ) -> list[tuple[int, ...]]:
-        partition = cluster.partition
         num_machines = cluster.num_machines
         order = compute_matching_order(pattern)
         position = {u: q for q, u in enumerate(order)}
@@ -142,22 +161,17 @@ class PSgLEngine(EnumerationEngine):
             backward[q] = sorted(backs)
             anchors[q] = max(backs)
 
-        # Superstep 0: seed partials at the owners of candidate vertices.
+        # Superstep 0: seed partials at the owners of candidate vertices —
+        # one independent routing task per owner machine (the expansion of
+        # position 1 happens at the anchor owner, which for seeds is the
+        # seed vertex itself, so no bytes hit the wire here).
         start_degree = pattern.degree(order[0])
         partials: dict[int, list[tuple[int, ...]]] = defaultdict(list)
-        for t in range(num_machines):
-            local = partition.machine(t)
-            machine = cluster.machine(t)
-            seeds = [
-                (int(v),)
-                for v in local.owned_vertices
-                if local.degree(int(v)) >= start_degree
-            ]
-            machine.charge_ops(len(local.owned_vertices), "seed_ops")
-            machine.allocate(len(seeds) * 8, "partials_bytes")
-            # Route each seed to the owner of its own vertex = already here;
-            # but the *expansion* of position 1 happens at the anchor owner,
-            # which for seeds is the seed vertex itself.
+        for t, seeds in executor.run_tasks(
+            cluster,
+            _seed_task,
+            [(t, start_degree) for t in range(num_machines)],
+        ):
             partials[t] = seeds
 
         model = cluster.cost_model

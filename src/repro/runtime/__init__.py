@@ -20,6 +20,7 @@ from repro.runtime.executor import (
     ProcessExecutor,
     SerialExecutor,
     WorkerCrashError,
+    execute_task,
     get_executor,
 )
 from repro.runtime.shared_graph import (
@@ -44,6 +45,7 @@ __all__ = [
     "apply_delta",
     "capture_state",
     "compute_delta",
+    "execute_task",
     "get_executor",
     "restore_state",
 ]

@@ -293,17 +293,20 @@ def _worker_cluster(spec: _ClusterSpec) -> Cluster:
     return cluster
 
 
-def _worker_run(
-    spec: _ClusterSpec, base: ClusterState, fn: TaskFn, args: Any
+def execute_task(
+    cluster: Cluster, base: ClusterState, fn: TaskFn, args: Any
 ) -> tuple[str, Any, Any]:
-    """Run one task against the replica; return (status, payload, delta).
+    """Run one task against a replica ``cluster``; ``(status, payload, delta)``.
 
-    Every task exception (simulated OOM or otherwise) is returned together
-    with the replica's partial delta: the serial backend leaves a failing
-    task's mutations on the real cluster, so the parallel backend must
-    merge them too before re-raising.
+    The shared core of every remote backend (the process pool below and
+    the socket-transport shard workers in :mod:`repro.distributed`): reset
+    the replica to the shipped ``base`` snapshot, run the task, and return
+    its payload together with the replica's state delta.  Every task
+    exception (simulated OOM or otherwise) is returned together with the
+    partial delta: the serial backend leaves a failing task's mutations on
+    the real cluster, so remote backends must merge them too before
+    re-raising.
     """
-    cluster = _worker_cluster(spec)
     restore_state(cluster, base)
     try:
         payload = fn(cluster, args)
@@ -312,3 +315,10 @@ def _worker_run(
         payload = exc
         status = "error"
     return status, payload, compute_delta(cluster, base)
+
+
+def _worker_run(
+    spec: _ClusterSpec, base: ClusterState, fn: TaskFn, args: Any
+) -> tuple[str, Any, Any]:
+    """Run one task against the pool worker's cached replica."""
+    return execute_task(_worker_cluster(spec), base, fn, args)

@@ -53,9 +53,11 @@ def config_digest(config: "RunConfig") -> str:
 
     Machines, memory cap, partitioner, cost model, stragglers and seed all
     change the simulated timings/communication (and the OOM outcome), so
-    they key the cache.  ``workers`` is excluded — results are
-    backend-independent — as are the result-mode fields (``collect`` keys
-    separately per request; ``limit`` is applied at serve time).
+    they key the cache.  ``workers``, ``backend`` and ``shards`` are
+    excluded — results are backend-independent, so a socket-backed server
+    serves cache hits for results computed serially and vice versa — as
+    are the result-mode fields (``collect`` keys separately per request;
+    ``limit`` is applied at serve time).
 
     Partitioner/cost-model *instances* are reduced to their type names
     (mirroring ``RunConfig.to_dict``): two differently-parameterised
@@ -64,6 +66,8 @@ def config_digest(config: "RunConfig") -> str:
     """
     record = config.to_dict()
     record.pop("workers", None)
+    record.pop("backend", None)
+    record.pop("shards", None)
     record.pop("collect", None)
     record.pop("limit", None)
     if record.get("stragglers") is not None:

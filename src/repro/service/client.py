@@ -33,21 +33,8 @@ class ServiceError(RuntimeError):
     """The server answered ``ok: false`` (the message is its ``error``)."""
 
 
-def _parse_address(address: "tuple[str, int] | str | int") -> tuple[str, int]:
-    """Accept ``(host, port)``, ``"host:port"`` or a bare port number."""
-    if isinstance(address, tuple):
-        host, port = address
-        return str(host), int(port)
-    if isinstance(address, int):
-        return "127.0.0.1", address
-    text = str(address)
-    host, _, port = text.rpartition(":")
-    if not port.isdigit():
-        raise ValueError(
-            f"service address {address!r} is not (host, port), "
-            f"'host:port' or a port number"
-        )
-    return host or "127.0.0.1", int(port)
+# Compatibility alias; the shared helper lives with the wire protocol.
+_parse_address = protocol.parse_address
 
 
 def connect(

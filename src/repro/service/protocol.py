@@ -83,6 +83,28 @@ def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
     stream.flush()
 
 
+def parse_address(address: "tuple[str, int] | str | int") -> tuple[str, int]:
+    """Accept ``(host, port)``, ``"host:port"`` or a bare port number.
+
+    The shared address vocabulary for every socket endpoint — service
+    clients, shard rosters, ``RunConfig.shards`` — lives here with the
+    rest of the wire-level helpers.
+    """
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    if isinstance(address, int):
+        return "127.0.0.1", address
+    text = str(address)
+    host, _, port = text.rpartition(":")
+    if not port.isdigit():
+        raise ValueError(
+            f"service address {address!r} is not (host, port), "
+            f"'host:port' or a port number"
+        )
+    return host or "127.0.0.1", int(port)
+
+
 def error_response(request_id: Any, message: str) -> dict[str, Any]:
     """A failure response echoing the request id."""
     return {"id": request_id, "ok": False, "error": str(message)}

@@ -34,7 +34,12 @@ Serving features, each deterministic and independently testable:
   before delivery.
 
 Engines are built per worker thread (they keep per-run state), and each
-worker owns one executor from :meth:`RunConfig.make_executor`.
+worker owns one executor from :meth:`RunConfig.make_executor` — with
+``RunConfig(backend="socket", shards=[...])`` every worker thread holds
+its own connections to the shard roster, so a served session fans
+concurrent queries out across hosts.  Submitting an engine whose
+registry entry has ``distributed=False`` on the socket backend raises
+:class:`~repro.api.registry.CapabilityError` at submit time.
 """
 
 from __future__ import annotations
@@ -256,6 +261,14 @@ class QueryScheduler:
             partition if partition is not None
             else self.config.make_partition(graph)
         )
+        if self.config.backend == "socket":
+            # Fail fast on a dead/misconfigured shard roster: the
+            # per-worker executor fallback below (meant for process-pool
+            # start failures, where serial is a silent-but-equivalent
+            # degradation) must not quietly turn a distributed server
+            # into a local one.  DistributedError propagates to whoever
+            # is starting the service.
+            self.config.make_executor().close()
         # -- admission budget ------------------------------------------
         per_query = self.config.memory_bytes
         self._default_cost = (
@@ -332,7 +345,16 @@ class QueryScheduler:
                 "the query service serves unlabeled queries; run labeled "
                 "queries through Session.run() instead"
             )
-        engine_name = self.registry.resolve(engine).name
+        if self.config.backend == "socket":
+            # Enforced here, at submission time, so a non-distributed
+            # engine is rejected loudly instead of failing inside a
+            # worker thread (same rule as Session's, and the request
+            # never consumes queue or budget).
+            engine_name = self.registry.require(
+                engine, distributed=True
+            ).name
+        else:
+            engine_name = self.registry.resolve(engine).name
         collect = self.config.collect if collect is None else bool(collect)
         limit = self.config.limit if limit is None else limit
         cost = (
@@ -447,18 +469,28 @@ class QueryScheduler:
     # ------------------------------------------------------------------
     def _worker(self) -> None:
         engines: dict[str, Any] = {}
-        try:
-            executor = self.config.make_executor()
-        except Exception:
-            # A process-pool backend that cannot start (full /dev/shm,
-            # no spawn support) must not silently kill the worker and
-            # wedge submissions: results are backend-independent, so
-            # serial execution is a safe degradation.
-            from repro.runtime.executor import SerialExecutor
+        # The executor rides in a one-slot holder: for the socket
+        # backend it is built lazily inside _execute's failure guard, so
+        # a shard roster dying after the init-time probe fails the
+        # waiting tickets with a visible DistributedError (and is
+        # retried on the next claim once the roster heals) instead of
+        # silently degrading the "distributed" server to local serial
+        # execution.
+        holder: list[Any] = [None]
+        if self.config.backend != "socket":
+            try:
+                holder[0] = self.config.make_executor()
+            except Exception:
+                # A process-pool backend that cannot start (full
+                # /dev/shm, no spawn support) must not silently kill the
+                # worker and wedge submissions: results are
+                # backend-independent, so serial execution is a safe
+                # degradation there.
+                from repro.runtime.executor import SerialExecutor
 
-            executor = SerialExecutor()
-            with self._cond:
-                self._stats["executor_fallbacks"] += 1
+                holder[0] = SerialExecutor()
+                with self._cond:
+                    self._stats["executor_fallbacks"] += 1
         try:
             while True:
                 with self._cond:
@@ -469,14 +501,15 @@ class QueryScheduler:
                         self._cond.wait()
                         execution = self._claim()
                 try:
-                    self._execute(execution, engines, executor)
+                    self._execute(execution, engines, holder)
                 finally:
                     with self._cond:
                         self._reserved -= execution.cost
                         self._running -= 1
                         self._cond.notify_all()
         finally:
-            executor.close()
+            if holder[0] is not None:
+                holder[0].close()
 
     def _claim(self) -> _Execution | None:
         """Pop the next runnable execution (holding the lock), or None.
@@ -535,12 +568,16 @@ class QueryScheduler:
         self,
         execution: _Execution,
         engines: dict[str, Any],
-        executor: Any,
+        holder: list[Any],
     ) -> None:
         try:
             # Construction is inside the guard too: a failing engine
-            # factory or partition/cluster problem must fail the waiting
-            # tickets, not unwind (and permanently kill) the worker.
+            # factory, executor (dead shard roster) or partition/cluster
+            # problem must fail the waiting tickets, not unwind (and
+            # permanently kill) the worker.
+            if holder[0] is None:
+                holder[0] = self.config.make_executor()
+            executor = holder[0]
             engine = engines.get(execution.engine)
             if engine is None:
                 engine = self.registry.create(
@@ -557,6 +594,15 @@ class QueryScheduler:
                 executor=executor,
             )
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            from repro.distributed.errors import DistributedError
+
+            if isinstance(exc, DistributedError) and holder[0] is not None:
+                # The roster died under this executor: drop it so the
+                # next claim reconnects (and heals once workers return).
+                try:
+                    holder[0].close()
+                finally:
+                    holder[0] = None
             with self._cond:
                 # Seal before failing: later identical submissions must
                 # start a fresh execution, not attach to this dead one.
@@ -575,7 +621,21 @@ class QueryScheduler:
             self._inflight.pop(execution.key, None)
             requests = list(execution.requests)
         if self.cache is not None:
-            self.cache.put(execution.key, execution.pattern, raw)
+            # Fault counters (distributed.*) describe how *this*
+            # execution was transported, not the result: strip them from
+            # the cached copy so later requesters of a healthy roster do
+            # not inherit phantom faults.  The current requesters, whose
+            # run did experience the fault, still see them (served from
+            # ``raw`` below).
+            cached = raw
+            if any(k.startswith("distributed.") for k in raw.counters):
+                cached = copy_result(raw)
+                cached.counters = {
+                    key: value
+                    for key, value in cached.counters.items()
+                    if not key.startswith("distributed.")
+                }
+            self.cache.put(execution.key, execution.pattern, cached)
         now = self._clock()
         delivered = 0
         for ticket in requests:
