@@ -128,3 +128,117 @@ def test_service_throughput(benchmark, report):
     # ...and a served workload with repeats must not be slower than
     # re-enumerating everything (generous bound: simulation noise).
     assert rows[1][1] >= rows[0][1]
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant open-loop load on the elastic socket backend
+# ----------------------------------------------------------------------
+#: Open-loop requests fired without waiting (tenants alternate).
+OPEN_LOOP_REQUESTS = 24
+OPEN_LOOP_TENANTS = ("gold", "bronze")
+
+
+def test_ext_multitenant_elastic_throughput(benchmark, report):
+    """Open-loop multi-tenant load with a shard worker killed mid-run.
+
+    Two announced shard workers serve a weighted pair of tenants; every
+    request is submitted up front (open loop), one worker is crashed once
+    a third of the responses are in, and the remaining work rides the
+    fault-tolerance path (lost worker, task resubmission) on the
+    surviving shard.  The table reports per-tenant completions and the
+    fault counters — the acceptance bar is that every request completes
+    and the kill is visible in the counters, not silent.
+    """
+    from repro.distributed import ShardRegistry, ShardWorker
+    from repro.service import TenantQuota
+
+    graph = powerlaw_cluster(300, edges_per_vertex=4, seed=11)
+
+    def experiment():
+        registry = ShardRegistry()
+        workers = [ShardWorker().start(), ShardWorker().start()]
+        for worker in workers:
+            registry.announce(worker.address)
+        config = RunConfig(machines=4, backend="socket")
+        try:
+            with QueryScheduler(
+                graph,
+                config,
+                threads=THREADS,
+                cache=False,
+                shard_registry=registry,
+                tenants={
+                    "gold": TenantQuota(weight=2.0),
+                    "bronze": TenantQuota(weight=1.0),
+                },
+            ) as scheduler:
+                start = time.perf_counter()
+                tickets = [
+                    scheduler.submit(
+                        QUERIES[i % len(QUERIES)],
+                        "rads",
+                        tenant=OPEN_LOOP_TENANTS[
+                            i % len(OPEN_LOOP_TENANTS)
+                        ],
+                    )
+                    for i in range(OPEN_LOOP_REQUESTS)
+                ]
+                deadline = time.monotonic() + 600
+                while (
+                    scheduler.stats()["completed"]
+                    < OPEN_LOOP_REQUESTS // 3
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                workers[1].crash()  # mid-run, no withdraw: a dead host
+                results = [ticket.result(600) for ticket in tickets]
+                elapsed = time.perf_counter() - start
+                stats = scheduler.stats()
+            lost = sum(
+                r.counters.get("distributed.lost_workers", 0)
+                for r in results
+            )
+            resubmits = sum(
+                r.counters.get("distributed.resubmits", 0)
+                for r in results
+            )
+            return elapsed, stats, lost, resubmits
+        finally:
+            for worker in workers:
+                worker.close()
+
+    elapsed, stats, lost, resubmits = run_once(benchmark, experiment)
+
+    tenants = stats["tenants"]
+    lines = [
+        "Multi-tenant elastic service — powerlaw |V|=300, 4 machines, "
+        f"{THREADS} threads, {OPEN_LOOP_REQUESTS} open-loop requests, "
+        "2 shard workers (one killed mid-run)",
+        f"{'tenant':>8} {'weight':>7} {'submitted':>10} {'completed':>10} "
+        f"{'deduped':>8}",
+    ]
+    for name in OPEN_LOOP_TENANTS:
+        row = tenants[name]
+        lines.append(
+            f"{name:>8} {row['weight']:>7.1f} {row['submitted']:>10} "
+            f"{row['completed']:>10} {row['deduped']:>8}"
+        )
+    lines.append(
+        f"throughput: {OPEN_LOOP_REQUESTS / elapsed:.1f} q/s "
+        f"({elapsed:.2f}s); lost workers: {lost}, task resubmits: "
+        f"{resubmits}"
+    )
+    report("ext_service_multitenant", "\n".join(lines))
+
+    # Every request survives the mid-run kill...
+    assert stats["completed"] == OPEN_LOOP_REQUESTS
+    assert stats["failed"] == 0
+    per_tenant = OPEN_LOOP_REQUESTS // len(OPEN_LOOP_TENANTS)
+    for name in OPEN_LOOP_TENANTS:
+        assert tenants[name]["submitted"] == per_tenant
+        assert (
+            tenants[name]["completed"] + tenants[name]["deduped"]
+            >= per_tenant
+        )
+    # ...and the kill is visible on the fault counters, not silent.
+    assert lost >= 1

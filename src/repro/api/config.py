@@ -52,9 +52,11 @@ class RunConfig:
     - ``backend``: execution backend — ``"auto"`` (default: serial for
       ``workers == 0``, else the process pool), ``"serial"``,
       ``"process"``, or ``"socket"`` (dispatch to remote
-      ``repro worker`` shard daemons; requires ``shards``).
+      ``repro worker`` shard daemons; needs ``shards`` or a shard
+      registry passed to :meth:`make_executor`).
     - ``shards``: shard-worker addresses for the socket backend
-      (``"host:port"`` strings or ``(host, port)`` tuples).
+      (``"host:port"`` strings or ``(host, port)`` tuples); may be
+      omitted when an elastic registry supplies the roster.
     - ``seed``: feeds the named partitioners (and future stochastic knobs).
     - ``collect``: keep full embeddings on the result (not just counts).
     - ``limit``: keep at most this many collected embeddings.
@@ -117,11 +119,6 @@ class RunConfig:
             if not normalized_shards:
                 raise ConfigError("shards must not be empty when given")
             object.__setattr__(self, "shards", normalized_shards)
-        if self.backend == "socket" and not self.shards:
-            raise ConfigError(
-                "backend='socket' needs shards=[...] (repro worker "
-                "addresses like '127.0.0.1:7471')"
-            )
         if self.shards and self.backend != "socket":
             raise ConfigError(
                 f"shards only apply to the socket backend "
@@ -227,14 +224,18 @@ class RunConfig:
             cluster.set_speed_factor(machine, 1.0 / factor)
         return cluster
 
-    def make_executor(self) -> "Executor":
+    def make_executor(self, registry: Any = None) -> "Executor":
         """The configured execution backend (caller owns closing it).
 
         ``backend="auto"`` keeps the historic ``workers`` semantics
         (0 = serial, N = process pool); ``"socket"`` connects a
         :class:`~repro.distributed.executor.SocketExecutor` to the
         configured ``shards`` (handshakes eagerly, so unreachable rosters
-        fail here, not mid-run).
+        fail here, not mid-run).  ``registry`` (socket backend only) is a
+        :class:`~repro.distributed.registry.ShardRegistry` the executor's
+        coordinator reconciles its roster against at batch boundaries —
+        with one, ``shards`` may be omitted and the roster starts from
+        whatever workers have announced.
         """
         from repro.runtime.executor import (
             ProcessExecutor,
@@ -249,7 +250,14 @@ class RunConfig:
         if self.backend == "socket":
             from repro.distributed.executor import SocketExecutor
 
-            return SocketExecutor(self.shards)
+            if not self.shards and registry is None:
+                raise ConfigError(
+                    "backend='socket' needs shards=[...] (repro worker "
+                    "addresses like '127.0.0.1:7471') or an attached "
+                    "shard registry (workers announce via "
+                    "'repro worker --announce')"
+                )
+            return SocketExecutor(self.shards or (), registry=registry)
         return get_executor(self.workers)
 
     def to_dict(self) -> dict[str, Any]:

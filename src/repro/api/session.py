@@ -553,8 +553,12 @@ class Session:
         port: int = 0,
         threads: int = 4,
         cache: Any = None,
+        cache_dir: str | None = None,
         memory_budget_mb: float | None = None,
         log_path: str | None = None,
+        tenants: Any = None,
+        default_quota: Any = None,
+        shard_registry: Any = None,
         start: bool = True,
     ) -> "QueryServer":
         """Expose this session's graph + config as a socket query service.
@@ -583,9 +587,13 @@ class Session:
                 port=port,
                 threads=threads,
                 cache=cache,
+                cache_dir=cache_dir,
                 memory_budget_mb=memory_budget_mb,
                 log_path=log_path,
                 partition=self._get_partition(),
+                tenants=tenants,
+                default_quota=default_quota,
+                shard_registry=shard_registry,
             )
         return server.start() if start else server
 

@@ -160,6 +160,10 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             result = session.run()
     except DistributedError as exc:
         raise SystemExit(f"distributed backend failed: {exc}")
+    # ConfigError (a ValueError) now surfaces at executor-build time for
+    # a socket backend with neither --shards nor a registry.
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if args.json:
         payload = result.to_dict()
         if payload["embeddings"] is not None:
@@ -284,6 +288,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             port=args.port,
             graph=args.graph,
             workers=args.workers,
+            announce=args.announce,
+            announce_interval=args.announce_interval,
         )
     # OSError covers the bind failures (port in use, bad host).
     except (ValueError, OSError) as exc:
@@ -308,8 +314,11 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.cache import ResultCache
+    from repro.service.tenancy import TenantQuota
 
     graph = load_graph(args.graph)
+    if args.cache_capacity == 0 and args.cache_dir:
+        raise SystemExit("--cache-dir needs a non-zero --cache-capacity")
     try:
         session = open_session(graph).with_cluster(
             machines=args.machines,
@@ -321,9 +330,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             False
             if args.cache_capacity == 0
             else ResultCache(
-                capacity=args.cache_capacity, ttl=args.cache_ttl
+                capacity=args.cache_capacity,
+                ttl=args.cache_ttl,
+                disk_dir=args.cache_dir,
             )
         )
+        default_quota = None
+        if (
+            args.quota_rate is not None
+            or args.quota_burst is not None
+            or args.quota_memory_mb is not None
+        ):
+            default_quota = TenantQuota(
+                rate=args.quota_rate,
+                burst=args.quota_burst,
+                memory_mb=args.quota_memory_mb,
+            )
         server = session.serve(
             host=args.host,
             port=args.port,
@@ -331,6 +353,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache=cache,
             memory_budget_mb=args.memory_budget_mb,
             log_path=args.log,
+            default_quota=default_quota,
             start=False,
         )
     # OSError covers the bind failures (port in use, bad host);
@@ -369,13 +392,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             if args.stats:
                 print(json.dumps(client.stats(), sort_keys=True))
                 return 0
+            if args.metrics:
+                print(json.dumps(client.metrics(), sort_keys=True))
+                return 0
             if args.shutdown:
                 client.shutdown()
                 print("shutdown requested")
                 return 0
             if not args.query:
                 raise SystemExit(
-                    "submit needs --query (or --ping/--stats/--shutdown)"
+                    "submit needs --query (or --ping/--stats/"
+                    "--metrics/--shutdown)"
                 )
             result = client.submit(
                 args.query,
@@ -384,6 +411,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 timeout=args.timeout,
                 collect=True if args.show > 0 else None,
                 limit=args.show if args.show > 0 else None,
+                tenant=args.tenant,
             )
         except ServiceError as exc:
             raise SystemExit(str(exc))
@@ -534,6 +562,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache entries (0 disables caching)")
     serve.add_argument("--cache-ttl", type=float, default=None,
                        help="result-cache entry lifetime in seconds")
+    serve.add_argument("--cache-dir", default=None,
+                       help="spill cached results to this directory and "
+                            "reload them (fingerprint-verified) after a "
+                            "restart")
+    serve.add_argument("--quota-rate", type=float, default=None,
+                       help="default per-tenant submission rate limit "
+                            "(requests/second, token bucket)")
+    serve.add_argument("--quota-burst", type=int, default=None,
+                       help="token-bucket burst size for --quota-rate")
+    serve.add_argument("--quota-memory-mb", type=float, default=None,
+                       help="default per-tenant concurrent admission "
+                            "budget (MiB)")
     serve.add_argument("--memory-budget-mb", type=float, default=None,
                        help="admission-control budget override (MiB)")
     serve.add_argument("--log", default=None,
@@ -555,6 +595,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=None,
                         help="give up if not served within this many "
                              "seconds (the run itself is not preempted)")
+    submit.add_argument("--tenant", default=None,
+                        help="attribute the request to this tenant's "
+                             "server-side quota / fair share")
     submit.add_argument("--show", type=int, default=0,
                         help="collect and print up to N embeddings")
     submit.add_argument("--json", action="store_true",
@@ -564,6 +607,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="health-check the server and exit")
     submit.add_argument("--stats", action="store_true",
                         help="print scheduler + cache counters and exit")
+    submit.add_argument("--metrics", action="store_true",
+                        help="print structured service metrics (queue, "
+                             "tenants, cache tiers, shard roster) and exit")
     submit.add_argument("--shutdown", action="store_true",
                         help="ask the server to stop serving and exit")
     submit.set_defaults(func=_cmd_submit)
@@ -584,6 +630,12 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--workers", type=int, default=0,
                         help="OS processes executing tasks on this shard "
                              "(0 = inline serial)")
+    worker.add_argument("--announce", default=None,
+                        help="announce this worker to a query server's "
+                             "elastic shard roster (host:port of a "
+                             "`repro serve` instance)")
+    worker.add_argument("--announce-interval", type=float, default=5.0,
+                        help="seconds between re-announcements")
     worker.set_defaults(func=_cmd_worker)
     return parser
 

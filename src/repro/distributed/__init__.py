@@ -26,11 +26,13 @@ semantics and shard lifecycle.
 from repro.distributed.coordinator import DistributedError, ShardCoordinator
 from repro.distributed.executor import SocketExecutor
 from repro.distributed.protocol import WORKER_PROTOCOL_VERSION
+from repro.distributed.registry import ShardRegistry
 from repro.distributed.worker import ShardWorker, stop_worker
 
 __all__ = [
     "DistributedError",
     "ShardCoordinator",
+    "ShardRegistry",
     "ShardWorker",
     "SocketExecutor",
     "WORKER_PROTOCOL_VERSION",

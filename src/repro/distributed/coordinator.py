@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 import weakref
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -37,6 +38,7 @@ from repro.runtime.delta import capture_state
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.cluster.cluster import Cluster
+    from repro.distributed.registry import ShardRegistry
     from repro.partition.partition import GraphPartition
 
 __all__ = ["DistributedError", "ShardCoordinator"]
@@ -49,7 +51,7 @@ LOST_WORKERS = "distributed.lost_workers"
 class _Shard:
     """One worker connection: socket, streams, liveness, bind state."""
 
-    def __init__(self, address: tuple[str, int]):
+    def __init__(self, address: tuple[str, int], *, managed: bool = False):
         self.address = address
         self.sock: socket.socket | None = None
         self.rfile: Any = None
@@ -58,6 +60,13 @@ class _Shard:
         self.alive = False
         self.bound_key: tuple | None = None
         self.last_error: str | None = None
+        #: True for shards owned by the announce registry (joined via
+        #: :meth:`ShardCoordinator._sync_registry`); they leave the
+        #: roster politely on withdrawal, unlike configured shards.
+        self.managed = managed
+        #: The registry announce count last acted on — a dead shard whose
+        #: count advanced has restarted and is worth reconnecting.
+        self.announces_seen = 0
         #: Serializes use of the connection: a batch drive thread holds it
         #: for the whole batch; the heartbeat probes with a non-blocking
         #: acquire and skips busy shards.
@@ -120,6 +129,10 @@ class _Batch:
         self.pool: deque[int] = deque()
         self.results: dict[int, tuple] = {}
         self.failure: BaseException | None = None
+        #: True when the failure was a total roster loss — the one
+        #: failure mode a registry-backed run_batch may retry (pure
+        #: tasks; nothing was delivered).
+        self.roster_lost = False
         self.done = not tasks
 
     def take(self, name: str) -> int | None:
@@ -159,6 +172,19 @@ class ShardCoordinator:
     heartbeat_interval:
         Seconds between background pings of idle workers (``None`` = no
         heartbeat thread); a worker that fails a ping leaves the roster.
+    registry:
+        A :class:`~repro.distributed.registry.ShardRegistry` making the
+        roster *elastic*: announced workers join as managed shards at
+        batch boundaries, withdrawn (or stale-and-dead) managed shards
+        leave politely, and a dead shard whose announce count advanced
+        is reconnected (a restart/replacement on the same address).
+        With a registry ``shards`` may be empty and an unreachable
+        initial roster is not fatal — the coordinator waits for
+        announcements instead.
+    rejoin_timeout:
+        Seconds :meth:`run_batch` waits for a replacement worker to
+        announce after the whole roster is lost (registry mode only)
+        before giving up with :class:`DistributedError`.
     """
 
     def __init__(
@@ -170,8 +196,10 @@ class ShardCoordinator:
         task_timeout: float | None = 600.0,
         ship_graph: bool = True,
         heartbeat_interval: float | None = None,
+        registry: "ShardRegistry | None" = None,
+        rejoin_timeout: float = 10.0,
     ):
-        if not shards:
+        if not shards and registry is None:
             raise DistributedError("the shard roster is empty")
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -179,10 +207,15 @@ class ShardCoordinator:
         self.connect_timeout = connect_timeout
         self.task_timeout = task_timeout
         self.ship_graph = ship_graph
+        self.registry = registry
+        self.rejoin_timeout = rejoin_timeout
         self._shards = [_Shard(protocol.parse_address(a)) for a in shards]
         self._counters = {RESUBMITS: 0, LOST_WORKERS: 0}
         self._counter_lock = threading.Lock()
         self._batch_lock = threading.Lock()
+        #: Serializes roster edits (registry syncs) against each other;
+        #: readers (live_shards, close) see atomic list swaps.
+        self._roster_lock = threading.Lock()
         self._batch_seq = 0
         self._closed = False
         # Fingerprint/owner digests are cached per partition object (the
@@ -195,7 +228,8 @@ class ShardCoordinator:
                 self._connect(shard)
             except (OSError, protocol.ProtocolError) as exc:
                 self._lose(shard, exc)
-        if not self.live_shards():
+        self._sync_registry()
+        if not self.live_shards() and registry is None:
             detail = "; ".join(
                 f"{s.name}: {s.last_error}" for s in self._shards
             )
@@ -263,7 +297,9 @@ class ShardCoordinator:
         shard.alive = True
         shard.last_error = None
 
-    def _lose(self, shard: _Shard, exc: BaseException) -> None:
+    def _lose(
+        self, shard: _Shard, exc: BaseException, *, count: bool = True
+    ) -> None:
         """Remove a shard from the roster (fault path).
 
         Counted whether the shard died mid-service or never answered the
@@ -271,13 +307,99 @@ class ShardCoordinator:
         cannot be used is a lost worker either way (the executor surfaces
         the counter on the next run's results).  Idempotent — a shard the
         heartbeat already buried (callers race it for ``shard.lock``) is
-        not re-counted and keeps its original cause of death.
+        not re-counted and keeps its original cause of death.  With
+        ``count=False`` (a managed shard whose announced join could not
+        be connected yet) the removal is not a fault.
         """
         if not shard.alive and shard.last_error is not None:
             return
         shard.last_error = f"{type(exc).__name__}: {exc}"
         shard.close()
-        self._bump(LOST_WORKERS)
+        if count:
+            self._bump(LOST_WORKERS)
+
+    # ------------------------------------------------------------------
+    # Elastic roster (announce registry)
+    # ------------------------------------------------------------------
+    def _sync_registry(self) -> None:
+        """Reconcile the connection roster with the announce registry.
+
+        Runs at batch boundaries (and from :meth:`run_batch`'s rejoin
+        wait): a newly announced address joins as a managed shard; a
+        dead shard — managed or configured — whose announce count
+        advanced since its death is reconnected (the worker restarted or
+        was replaced on the same address; it must rebind); a managed
+        shard withdrawn from the registry, or both stale there and dead
+        here, leaves politely without touching the fault counters.
+        """
+        if self.registry is None:
+            return
+        with self._roster_lock:
+            entries = {
+                entry["address"]: entry
+                for entry in self.registry.snapshot()
+            }
+            kept: list[_Shard] = []
+            for shard in self._shards:
+                entry = entries.get(shard.name)
+                if shard.managed and (
+                    entry is None or (entry["stale"] and not shard.alive)
+                ):
+                    with shard.lock:
+                        shard.close()
+                    continue
+                kept.append(shard)
+            self._shards = kept
+            known = {shard.name: shard for shard in self._shards}
+            for name, entry in entries.items():
+                if entry["stale"]:
+                    continue
+                shard = known.get(name)
+                if shard is None:
+                    shard = _Shard(
+                        protocol.parse_address(name), managed=True
+                    )
+                    shard.announces_seen = entry["announces"]
+                    self._shards.append(shard)
+                    try:
+                        self._connect(shard)
+                    except (OSError, protocol.ProtocolError) as exc:
+                        self._lose(shard, exc, count=False)
+                elif not shard.alive and (
+                    entry["announces"] > shard.announces_seen
+                ):
+                    shard.announces_seen = entry["announces"]
+                    with shard.lock:
+                        shard.close()
+                        try:
+                            self._connect(shard)
+                            shard.bound_key = None
+                            shard.last_error = None
+                        except (OSError, protocol.ProtocolError) as exc:
+                            self._lose(shard, exc, count=False)
+                elif shard.alive:
+                    shard.announces_seen = max(
+                        shard.announces_seen, entry["announces"]
+                    )
+
+    def _await_roster(self, cluster: "Cluster") -> bool:
+        """Wait for a usable (live, bound) shard via the registry.
+
+        Polls the registry for up to ``rejoin_timeout`` seconds; returns
+        True once a live shard is connected and bound, False on timeout
+        (or immediately when there is no registry to wait on).
+        """
+        if self.registry is None:
+            return False
+        deadline = time.monotonic() + self.rejoin_timeout
+        while True:
+            self._sync_registry()
+            self._ensure_bound(cluster)
+            if self.live_shards():
+                return True
+            if time.monotonic() >= deadline or self._closed:
+                return False
+            time.sleep(0.2)
 
     # ------------------------------------------------------------------
     # Request/response plumbing (caller holds shard.lock)
@@ -409,11 +531,6 @@ class ShardCoordinator:
         if not tasks:
             return []
         with self._batch_lock:
-            self._ensure_bound(cluster)
-            live = self.live_shards()
-            if not live:
-                raise DistributedError(self._roster_obituary())
-            self._batch_seq += 1
             try:
                 ctx_data = protocol.pack((capture_state(cluster), fn))
             except Exception as exc:
@@ -423,30 +540,53 @@ class ShardCoordinator:
                     f"batch context (cluster snapshot + task fn) is not "
                     f"serializable: {exc}"
                 ) from exc
-            batch = _Batch(
-                f"batch-{self._batch_seq}", ctx_data, tasks,
-                [shard.name for shard in live],
-            )
-            threads = [
-                threading.Thread(
-                    target=self._drive,
-                    args=(shard, batch),
-                    name=f"repro-shard-{shard.name}",
-                    daemon=True,
+            attempts = 0
+            while True:
+                attempts += 1
+                self._sync_registry()
+                self._ensure_bound(cluster)
+                if not self.live_shards() and not self._await_roster(
+                    cluster
+                ):
+                    raise DistributedError(self._roster_obituary())
+                live = self.live_shards()
+                self._batch_seq += 1
+                batch = _Batch(
+                    f"batch-{self._batch_seq}", ctx_data, tasks,
+                    [shard.name for shard in live],
                 )
-                for shard in live
-            ]
-            for thread in threads:
-                thread.start()
-            with batch.cond:
-                while not batch.done:
-                    batch.cond.wait()
-                batch.cond.notify_all()
-            for thread in threads:
-                thread.join()
-            if batch.failure is not None:
-                raise batch.failure
-            return [batch.results[i] for i in range(len(tasks))]
+                threads = [
+                    threading.Thread(
+                        target=self._drive,
+                        args=(shard, batch),
+                        name=f"repro-shard-{shard.name}",
+                        daemon=True,
+                    )
+                    for shard in live
+                ]
+                for thread in threads:
+                    thread.start()
+                with batch.cond:
+                    while not batch.done:
+                        batch.cond.wait()
+                    batch.cond.notify_all()
+                for thread in threads:
+                    thread.join()
+                if batch.failure is not None:
+                    if (
+                        batch.roster_lost
+                        and self.registry is not None
+                        and attempts < 2
+                        and self._await_roster(cluster)
+                    ):
+                        # The whole roster died mid-batch but a
+                        # replacement announced within rejoin_timeout:
+                        # tasks are pure functions of the shipped
+                        # snapshot, so rerunning the batch is safe (and
+                        # bit-identical).
+                        continue
+                    raise batch.failure
+                return [batch.results[i] for i in range(len(tasks))]
 
     def _drive(self, shard: _Shard, batch: _Batch) -> None:
         """One shard's batch loop: deal, pipeline, collect, survive."""
@@ -560,6 +700,7 @@ class ShardCoordinator:
                             "all shard workers lost mid-batch: "
                             + self._roster_obituary()
                         )
+                        batch.roster_lost = True
                         batch.done = True
                     batch.cond.notify_all()
             except BaseException as exc:  # noqa: BLE001 - must not hang
@@ -582,11 +723,16 @@ class ShardCoordinator:
             batch.cond.notify_all()
 
     def _roster_obituary(self) -> str:
-        return "; ".join(
+        dead = "; ".join(
             f"{shard.name}: {shard.last_error or 'lost'}"
             for shard in self._shards
             if not shard.alive
-        ) or "no shards configured"
+        )
+        if dead:
+            return dead
+        if self.registry is not None:
+            return "no shard workers announced to the registry"
+        return "no shards configured"
 
     # ------------------------------------------------------------------
     # Heartbeats

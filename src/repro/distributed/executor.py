@@ -45,7 +45,9 @@ class SocketExecutor(Executor):
     See :class:`~repro.distributed.coordinator.ShardCoordinator` for the
     roster/fault-tolerance parameters forwarded via ``**coordinator_kwargs``
     (``window``, ``connect_timeout``, ``task_timeout``, ``ship_graph``,
-    ``heartbeat_interval``).
+    ``heartbeat_interval``, and — for an elastic roster that follows
+    worker announcements — ``registry`` / ``rejoin_timeout``; with a
+    registry, ``shards`` may be empty).
     """
 
     parallel = True

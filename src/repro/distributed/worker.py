@@ -28,6 +28,13 @@ through the executor queue (a bind is a barrier w.r.t. in-flight tasks).
 :meth:`crash` kills the daemon abruptly — listener and live connections
 are torn down with no protocol goodbye — so tests and demos can exercise
 the coordinator's fault tolerance deterministically.
+
+With ``announce="host:port"`` the worker joins a query server's elastic
+roster: it sends an ``announce`` op to that address on start and every
+``announce_interval`` seconds (a background daemon thread), and
+withdraws itself on a polite :meth:`close` — but *not* on
+:meth:`crash`, so the registry sees exactly what a killed host would
+leave behind (a silent entry going stale).
 """
 
 from __future__ import annotations
@@ -373,6 +380,14 @@ class ShardWorker:
     workers:
         OS processes for task execution (``0`` = inline serial — every
         connection still runs independently on its own replica).
+    announce:
+        A query server address (``"host:port"``) to announce this worker
+        to — on start and every ``announce_interval`` seconds — joining
+        its elastic shard roster; :meth:`close` withdraws the entry.
+    announce_interval:
+        Seconds between re-announcements (keeps the registry entry
+        fresh; the registry's default staleness horizon is three
+        intervals).
     """
 
     def __init__(
@@ -382,10 +397,22 @@ class ShardWorker:
         port: int = 0,
         graph: "Graph | str | Path | None" = None,
         workers: int = 0,
+        announce: "tuple[str, int] | str | int | None" = None,
+        announce_interval: float = 5.0,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if announce_interval <= 0:
+            raise ValueError(
+                f"announce_interval must be positive, got {announce_interval}"
+            )
         self.workers = workers
+        self._announce = (
+            None if announce is None else protocol.parse_address(announce)
+        )
+        self._announce_interval = announce_interval
+        self._announce_stop = threading.Event()
+        self._announce_thread: threading.Thread | None = None
         self._lock = threading.Lock()
         self._graphs: dict[str, Graph] = {}
         self._partitions: dict[tuple[str, str], GraphPartition] = {}
@@ -425,19 +452,97 @@ class ShardWorker:
                 daemon=True,
             )
             self._thread.start()
+            self._ensure_announcer()
         return self
 
     def serve_forever(self) -> None:
         """Block serving coordinators until :meth:`close` or a shutdown op."""
         self._serving = True
+        self._ensure_announcer()
         self._tcp.serve_forever()
 
+    # -- announce (elastic roster membership) --------------------------
+    def _ensure_announcer(self) -> None:
+        if self._announce is None or self._announce_thread is not None:
+            return
+
+        def loop() -> None:
+            self.announce_now()
+            while not self._announce_stop.wait(self._announce_interval):
+                self.announce_now()
+
+        self._announce_thread = threading.Thread(
+            target=loop, name="repro-shard-announce", daemon=True
+        )
+        self._announce_thread.start()
+
+    def _announce_call(self, message: dict[str, Any]) -> bool:
+        """One announce-protocol exchange with the query server."""
+        if self._announce is None:
+            return False
+        try:
+            with socket.create_connection(
+                self._announce, timeout=10.0
+            ) as sock:
+                sock.settimeout(10.0)
+                rfile = sock.makefile("rb")
+                wfile = sock.makefile("wb")
+                hello = protocol.read_message(rfile)
+                if not hello or hello.get("kind") != "hello":
+                    return False
+                protocol.write_message(wfile, message)
+                reply = protocol.read_message(rfile)
+                return bool(reply and reply.get("ok"))
+        except (OSError, protocol.ProtocolError):
+            return False
+
+    def announce_now(self) -> bool:
+        """Send one announce to the configured query server.
+
+        Returns True when the server acknowledged; False when there is
+        no announce target, nothing answered, or the reply was an error
+        (the periodic announcer just tries again next interval).
+        """
+        if self._announce is None:
+            return False
+        host, port = self.address
+        return self._announce_call({
+            "op": "announce",
+            "id": 1,
+            "address": f"{host}:{port}",
+            "graphs": self.fingerprints(),
+            "workers": self.workers,
+            "pid": os.getpid(),
+        })
+
+    def _withdraw(self) -> None:
+        """Best-effort registry withdrawal (polite close only)."""
+        host, port = self.address
+        self._announce_call({
+            "op": "announce",
+            "id": 1,
+            "address": f"{host}:{port}",
+            "withdraw": True,
+        })
+
     def close(self) -> None:
-        """Stop accepting, release the socket and the pool (idempotent)."""
+        """Stop accepting, release the socket and the pool (idempotent).
+
+        A worker announcing to a query server withdraws its registry
+        entry first — unless it is dying via :meth:`crash`, which must
+        look exactly like a killed host (the entry goes stale instead).
+        """
         with self._close_lock:
             if self._closed:
                 return
             self._closed = True
+            self._announce_stop.set()
+            if self._announce is not None:
+                if not self._crashed:
+                    self._withdraw()
+                if self._announce_thread is not None:
+                    self._announce_thread.join(timeout=5)
+                    self._announce_thread = None
             if self._serving:
                 self._tcp.shutdown()
             self._tcp.server_close()

@@ -26,6 +26,7 @@ from repro.service.cache import (
     ResultCache,
     cache_key,
     config_digest,
+    key_digest,
     remap_embeddings,
 )
 from repro.service.client import ServiceClient, ServiceError, connect
@@ -34,10 +35,12 @@ from repro.service.scheduler import (
     AdmissionError,
     QueryScheduler,
     QueryTicket,
+    QuotaExceeded,
     SchedulerClosed,
     ServiceTimeout,
 )
 from repro.service.server import QueryServer, wait_until_serving
+from repro.service.tenancy import TenantLedger, TenantQuota
 
 __all__ = [
     "AdmissionError",
@@ -46,14 +49,18 @@ __all__ = [
     "QueryScheduler",
     "QueryServer",
     "QueryTicket",
+    "QuotaExceeded",
     "ResultCache",
     "SchedulerClosed",
     "ServiceClient",
     "ServiceError",
     "ServiceTimeout",
+    "TenantLedger",
+    "TenantQuota",
     "cache_key",
     "config_digest",
     "connect",
+    "key_digest",
     "remap_embeddings",
     "wait_until_serving",
 ]

@@ -13,6 +13,22 @@ served tuple is a genuine embedding of the *requested* pattern.
 Eviction is LRU with an optional TTL; ``hits`` / ``misses`` / ``evictions``
 counters are kept per cache and surfaced on every served
 :class:`~repro.engines.base.RunResult` under ``counters["service.*"]``.
+TTL-expired entries are swept out *before* any live entry is evicted
+for capacity, and they count as ``expirations``, not ``evictions``.
+
+With ``disk_dir`` the memory LRU gains a persistent second tier: every
+stored result is also spilled to one JSON file (written atomically)
+whose name is the SHA-256 of the canonical cache key and whose body
+repeats the full key for verification.  A memory miss falls through to
+disk; a verified, unexpired file is promoted back into memory and
+served — and because the spill format is exactly the
+``RunResult.to_dict()`` round-trip every served copy already uses, a
+disk-served result is byte-identical to a memory-served one.  The tier
+survives server restarts: a fresh cache pointed at the same directory
+reloads entries lazily, re-verifying the stored key (graph fingerprint,
+canonical pattern, engine, config digest, collect flag) before serving.
+Disk TTLs use wall-clock time (``time.time``), since monotonic clocks
+do not survive restarts.
 
 What is deliberately **not** in the key:
 
@@ -29,10 +45,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.engines.base import RunResult
@@ -105,6 +123,25 @@ def cache_key(
     )
 
 
+#: Version tag written into every spill file; bumped on layout changes
+#: (a mismatching file is treated as a miss, never misread).
+DISK_FORMAT = 1
+
+
+def _key_record(key: tuple) -> list:
+    """The cache key as JSON-safe nested lists (tuples recursed)."""
+    return [
+        _key_record(part) if isinstance(part, tuple) else part
+        for part in key
+    ]
+
+
+def key_digest(key: tuple) -> str:
+    """Stable filename digest of a cache key (SHA-256 of its JSON form)."""
+    payload = json.dumps(_key_record(key), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
 def remap_embeddings(
     embeddings: list[tuple[int, ...]],
     stored_pattern: Pattern,
@@ -153,10 +190,18 @@ class _Entry:
 class ResultCache:
     """Thread-safe LRU + TTL cache of :class:`RunResult` records.
 
-    ``capacity`` bounds the number of entries (least-recently-*used* is
-    evicted first); ``ttl`` (seconds, ``None`` = forever) expires entries
+    ``capacity`` bounds the number of memory entries
+    (least-recently-*used* is evicted first, after TTL-expired entries
+    are swept); ``ttl`` (seconds, ``None`` = forever) expires entries
     lazily at lookup and insertion time.  ``clock`` is injectable for
     deterministic tests and defaults to :func:`time.monotonic`.
+
+    ``disk_dir`` enables the persistent second tier (see the module
+    docstring): every stored result is spilled to a key-digest-named
+    JSON file there, memory misses fall through to disk, and a fresh
+    cache over the same directory serves earlier runs after a restart.
+    ``disk_capacity`` bounds the file count (oldest spilled evicted
+    first); ``wall_clock`` feeds disk TTLs and is injectable too.
     """
 
     def __init__(
@@ -165,20 +210,42 @@ class ResultCache:
         ttl: float | None = None,
         *,
         clock: Callable[[], float] = time.monotonic,
+        disk_dir: "str | Path | None" = None,
+        disk_capacity: int | None = None,
+        wall_clock: Callable[[], float] = time.time,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if ttl is not None and ttl <= 0:
             raise ValueError(f"ttl must be positive or None, got {ttl}")
+        if disk_capacity is not None and disk_capacity < 1:
+            raise ValueError(
+                f"disk_capacity must be >= 1 or None, got {disk_capacity}"
+            )
         self.capacity = capacity
         self.ttl = ttl
         self._clock = clock
+        self._wall = wall_clock
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        # -- disk tier --------------------------------------------------
+        self.disk_dir = None if disk_dir is None else Path(disk_dir)
+        self.disk_capacity = disk_capacity
+        self.disk_hits = 0
+        self.disk_writes = 0
+        self.disk_evictions = 0
+        self.disk_expirations = 0
+        self.disk_errors = 0
+        #: digest -> spill order proxy (mtime at scan, then insertion
+        #: order); bounds the tier without re-listing the directory.
+        self._disk_index: "OrderedDict[str, float]" = OrderedDict()
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            self._scan_disk()
 
     def __len__(self) -> int:
         with self._lock:
@@ -200,6 +267,12 @@ class ResultCache:
                 del self._entries[key]
                 self.expirations += 1
                 entry = None
+            if entry is None and self.disk_dir is not None:
+                entry = self._load_from_disk(key)
+                if entry is not None:
+                    # Promote: the disk hit becomes the freshest memory
+                    # entry (expired peers swept first, then LRU).
+                    self._insert(key, entry)
             if entry is None:
                 self.misses += 1
                 return None
@@ -226,26 +299,152 @@ class ResultCache:
             ),
         )
         with self._lock:
-            self._entries.pop(key, None)
-            self._entries[key] = entry
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._insert(key, entry)
+            if self.disk_dir is not None:
+                self._spill(key, entry)
         return True
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
+        """Drop every memory entry (counters and spilled files are kept)."""
         with self._lock:
             self._entries.clear()
 
     # ------------------------------------------------------------------
+    def _insert(self, key: tuple, entry: _Entry) -> None:
+        """File one entry (caller holds the lock): sweep, insert, evict.
+
+        TTL-expired entries are swept *first* and counted as
+        ``expirations`` — capacity pressure must evict dead weight, not
+        live least-recently-used entries sharing the cache with expired
+        ones that merely had not been looked up since their deadline.
+        """
+        self._entries.pop(key, None)
+        if len(self._entries) >= self.capacity:
+            for stale_key in [
+                k for k, e in self._entries.items() if self._expired(e)
+            ]:
+                del self._entries[stale_key]
+                self.expirations += 1
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
     def _expired(self, entry: _Entry) -> bool:
         return entry.expires_at is not None and self._clock() >= entry.expires_at
 
-    def stats(self) -> dict[str, int]:
-        """Counter snapshot (JSON-safe; keys match the served counters)."""
+    # ------------------------------------------------------------------
+    # Disk tier (every helper below is called with the lock held)
+    # ------------------------------------------------------------------
+    def _scan_disk(self) -> None:
+        """Index existing spill files (restart path), oldest first."""
+        try:
+            files = sorted(
+                (
+                    (path.stat().st_mtime, path.stem)
+                    for path in self.disk_dir.glob("*.json")
+                ),
+            )
+        except OSError:
+            self.disk_errors += 1
+            return
+        for mtime, digest in files:
+            self._disk_index[digest] = mtime
+
+    def _disk_path(self, digest: str) -> Path:
+        return self.disk_dir / f"{digest}.json"
+
+    def _drop_disk(self, digest: str, *, counter: str) -> None:
+        self._disk_index.pop(digest, None)
+        try:
+            self._disk_path(digest).unlink()
+        except OSError:
+            pass
+        setattr(self, counter, getattr(self, counter) + 1)
+
+    def _spill(self, key: tuple, entry: _Entry) -> None:
+        """Write-through one entry to its spill file (atomically)."""
+        digest = key_digest(key)
+        record = {
+            "format": DISK_FORMAT,
+            "key": _key_record(key),
+            "pattern": str(entry.pattern),
+            "pattern_name": entry.pattern.name,
+            "stored_at": self._wall(),
+            "ttl": self.ttl,
+            "result": entry.result.to_dict(),
+        }
+        path = self._disk_path(digest)
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(record, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            self.disk_errors += 1
+            return
+        self._disk_index.pop(digest, None)
+        self._disk_index[digest] = record["stored_at"]
+        self.disk_writes += 1
+        if self.disk_capacity is not None:
+            while len(self._disk_index) > self.disk_capacity:
+                oldest = next(iter(self._disk_index))
+                self._drop_disk(oldest, counter="disk_evictions")
+
+    def _load_from_disk(self, key: tuple) -> "_Entry | None":
+        """Verified reload of one spilled entry, or None (a miss)."""
+        digest = key_digest(key)
+        if digest not in self._disk_index:
+            return None
+        try:
+            record = json.loads(self._disk_path(digest).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._drop_disk(digest, counter="disk_errors")
+            return None
+        # Fingerprint-verified reload: the file must repeat the exact
+        # key — graph fingerprint, canonical pattern, engine, config
+        # digest, collect flag — not merely sit at the right filename.
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != DISK_FORMAT
+            or record.get("key") != _key_record(key)
+        ):
+            self._drop_disk(digest, counter="disk_errors")
+            return None
+        ttl = record.get("ttl")
+        remaining: float | None = None
+        if ttl is not None:
+            remaining = record.get("stored_at", 0.0) + ttl - self._wall()
+            if remaining <= 0:
+                self._drop_disk(digest, counter="disk_expirations")
+                return None
+        try:
+            from repro.api.session import resolve_query
+
+            pattern = resolve_query(record["pattern"]).copy_with_name(
+                record.get("pattern_name")
+            )
+            result = RunResult.from_dict(record["result"])
+        except Exception:
+            self._drop_disk(digest, counter="disk_errors")
+            return None
+        self.disk_hits += 1
+        return _Entry(
+            pattern=pattern,
+            result=result,
+            expires_at=(
+                None if remaining is None else self._clock() + remaining
+            ),
+        )
+
+    def stats(self) -> dict:
+        """Counter snapshot (JSON-safe; keys match the served counters).
+
+        With the disk tier enabled a nested ``"disk"`` dict reports the
+        tier's entry count and hit/spill/eviction/error counters
+        (``None`` when the cache is memory-only).
+        """
         with self._lock:
-            return {
+            snapshot: dict = {
                 "entries": len(self._entries),
                 "capacity": self.capacity,
                 "hits": self.hits,
@@ -253,6 +452,21 @@ class ResultCache:
                 "evictions": self.evictions,
                 "expirations": self.expirations,
             }
+            snapshot["disk"] = (
+                None
+                if self.disk_dir is None
+                else {
+                    "dir": str(self.disk_dir),
+                    "entries": len(self._disk_index),
+                    "capacity": self.disk_capacity,
+                    "hits": self.disk_hits,
+                    "writes": self.disk_writes,
+                    "evictions": self.disk_evictions,
+                    "expirations": self.disk_expirations,
+                    "errors": self.disk_errors,
+                }
+            )
+            return snapshot
 
     def annotate(self, result: RunResult, *, hit: bool) -> RunResult:
         """Merge this cache's counters into ``result.counters`` in place.
@@ -278,5 +492,6 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "config_digest",
+    "key_digest",
     "remap_embeddings",
 ]

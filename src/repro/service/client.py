@@ -119,11 +119,13 @@ class ServiceClient:
         collect: bool | None = None,
         limit: int | None = None,
         memory_mb: float | None = None,
+        tenant: "str | None" = None,
     ) -> RunResult:
         """Run one query on the server; blocks until the result arrives.
 
-        Mirrors :meth:`QueryScheduler.submit`; the cache disposition of
-        the answer lands in :attr:`last_cache` (``"hit"``, ``"miss"`` or
+        Mirrors :meth:`QueryScheduler.submit` (``tenant`` attributes the
+        request to a server-side quota); the cache disposition of the
+        answer lands in :attr:`last_cache` (``"hit"``, ``"miss"`` or
         ``"dedup"``).
         """
         response = self._call(
@@ -135,6 +137,7 @@ class ServiceClient:
             collect=collect,
             limit=limit,
             memory_mb=memory_mb,
+            tenant=tenant,
         )
         self.last_cache = response.get("cache")
         return RunResult.from_dict(response["result"])
@@ -154,6 +157,11 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         """Scheduler + cache counter snapshot (see ``QueryScheduler.stats``)."""
         return self._call("stats")["result"]
+
+    def metrics(self) -> dict[str, Any]:
+        """Structured service metrics: uptime, scheduler/cache counters,
+        per-tenant usage and the shard-roster health snapshot."""
+        return self._call("metrics")["result"]
 
     def ping(self) -> bool:
         """Round-trip health check."""

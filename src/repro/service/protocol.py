@@ -15,6 +15,17 @@ Requests (client -> server)::
     {"op": "stats",   "id": 3}
     {"op": "ping",    "id": 4}
     {"op": "shutdown","id": 5}
+    {"op": "metrics", "id": 6}
+    {"op": "announce","id": 7, "address": "127.0.0.1:7471",
+     "graphs": ["<fingerprint>"], "workers": 2, "pid": 4242}
+    {"op": "announce","id": 8, "address": "127.0.0.1:7471",
+     "withdraw": true}
+
+``submit`` also accepts ``"tenant": "team-a"`` to attribute the request
+to a tenant quota.  ``announce`` registers (or, with ``withdraw``,
+removes) a shard worker in the server's elastic roster; ``metrics``
+returns structured service counters (queue depth, per-tenant usage,
+cache tiers, shard roster health).
 
 Responses (server -> client) echo ``id`` and carry ``ok``::
 
@@ -40,7 +51,7 @@ from typing import Any, BinaryIO
 PROTOCOL_VERSION = 1
 
 #: Operations the server dispatches on.
-OPS = ("submit", "explain", "stats", "ping", "shutdown")
+OPS = ("submit", "explain", "stats", "ping", "shutdown", "announce", "metrics")
 
 
 class ProtocolError(RuntimeError):

@@ -32,6 +32,16 @@ Serving features, each deterministic and independently testable:
   executing is not preempted — its result still lands in the cache for
   the next requester.  :meth:`QueryTicket.cancel` works any time
   before delivery.
+- **Tenant quotas** — ``submit(tenant=...)`` attributes the request to
+  a tenant; ``tenants=`` / ``default_quota=`` attach
+  :class:`~repro.service.tenancy.TenantQuota` limits: token-bucket
+  submission rates (rejected loudly at submit with
+  :class:`~repro.service.tenancy.QuotaExceeded`), per-tenant
+  concurrent-memory budgets (an over-budget tenant's work is *deferred*
+  at claim time without blocking other tenants — unlike the global
+  budget, which is strict), and weighted fair-share claiming among
+  equal-priority queued requests (least reserved bytes per unit weight
+  runs first, FIFO within a tenant).
 
 Engines are built per worker thread (they keep per-run state), and each
 worker owns one executor from :meth:`RunConfig.make_executor` — with
@@ -64,14 +74,19 @@ from repro.service.cache import (
     copy_result,
     remap_embeddings,
 )
+from repro.service.tenancy import QuotaExceeded, TenantLedger, TenantQuota
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from typing import Mapping
+
+    from repro.distributed.registry import ShardRegistry
     from repro.graph.graph import Graph
 
 __all__ = [
     "AdmissionError",
     "QueryScheduler",
     "QueryTicket",
+    "QuotaExceeded",
     "SchedulerClosed",
     "ServiceTimeout",
 ]
@@ -107,12 +122,14 @@ class QueryTicket:
         priority: int,
         deadline: float | None,
         limit: int | None,
+        tenant: "str | None" = None,
     ):
         self.pattern = pattern
         self.engine = engine
         self.priority = priority
         self.deadline = deadline
         self.limit = limit
+        self.tenant = tenant
         self.cache_hit = False
         self.deduped = False
         self._future: "Future[RunResult]" = Future()
@@ -192,6 +209,9 @@ class _Execution:
         #: The pattern actually enumerated (the primary's spelling).
         self.pattern = ticket.pattern
         self.collect = key[-1]
+        #: The tenant whose budget/fair share the execution runs under
+        #: (the primary's; dedup riders from other tenants ride free).
+        self.tenant = ticket.tenant
         #: Highest priority pushed to the heap so far; a dedup rider with
         #: a higher priority re-pushes the execution (the old heap entry
         #: goes stale and is skipped via ``claimed``/priority mismatch).
@@ -224,6 +244,18 @@ class QueryScheduler:
     partition:
         A prebuilt partition of ``graph`` under this config (e.g. a
         Session's cached one), reused instead of partitioning again.
+    tenants / default_quota:
+        Per-tenant :class:`~repro.service.tenancy.TenantQuota` limits
+        (explicit mapping plus a default for unlisted tenants); see the
+        module docstring's tenant-quota bullet.
+    shard_registry:
+        A :class:`~repro.distributed.registry.ShardRegistry` for the
+        socket backend: worker-thread executors reconcile their shard
+        rosters against it at batch boundaries, so announced workers
+        join (and withdrawn ones leave) a running scheduler.  With a
+        registry the roster may start empty — the startup probe is
+        skipped and submissions fail with ``DistributedError`` until a
+        worker announces.
 
     Deadlines (``submit(timeout=...)``) are wall-clock
     (:func:`time.monotonic`) throughout — both the queue-side expiry
@@ -241,12 +273,16 @@ class QueryScheduler:
         cache: "ResultCache | None | bool" = None,
         memory_budget_mb: float | None = None,
         partition: Any = None,
+        tenants: "Mapping[str, TenantQuota] | None" = None,
+        default_quota: "TenantQuota | None" = None,
+        shard_registry: "ShardRegistry | None" = None,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
         self.graph = graph
         self.config = config or RunConfig()
         self.registry = registry or default_registry()
+        self.shard_registry = shard_registry
         if cache is False:
             self.cache: ResultCache | None = None
         else:
@@ -261,14 +297,22 @@ class QueryScheduler:
             partition if partition is not None
             else self.config.make_partition(graph)
         )
-        if self.config.backend == "socket":
-            # Fail fast on a dead/misconfigured shard roster: the
+        if self.config.backend == "socket" and (
+            self.config.shards or shard_registry is None
+        ):
+            # Fail fast on a dead/misconfigured static shard roster: the
             # per-worker executor fallback below (meant for process-pool
             # start failures, where serial is a silent-but-equivalent
             # degradation) must not quietly turn a distributed server
             # into a local one.  DistributedError propagates to whoever
-            # is starting the service.
-            self.config.make_executor().close()
+            # is starting the service.  With a shard registry and no
+            # static shards the roster is elastic — it may legitimately
+            # be empty until a worker announces — so there is nothing to
+            # probe at startup.
+            self.config.make_executor(registry=shard_registry).close()
+        self._tenants = TenantLedger(
+            tenants, default=default_quota, clock=time.monotonic
+        )
         # -- admission budget ------------------------------------------
         per_query = self.config.memory_bytes
         self._default_cost = (
@@ -302,6 +346,7 @@ class QueryScheduler:
             "timeouts": 0,
             "cancelled": 0,
             "rejected": 0,
+            "quota_rejected": 0,
             "executor_fallbacks": 0,
         }
         self._running = 0
@@ -328,6 +373,7 @@ class QueryScheduler:
         collect: bool | None = None,
         limit: int | None = None,
         memory_mb: float | None = None,
+        tenant: "str | None" = None,
     ) -> QueryTicket:
         """Enqueue one query; returns immediately with a :class:`QueryTicket`.
 
@@ -335,10 +381,38 @@ class QueryScheduler:
         accepts except labeled patterns; ``engine`` any registry
         name/alias.  ``collect``/``limit`` default to the scheduler
         config's result mode; ``memory_mb`` overrides the request's
-        admission estimate.
+        admission estimate; ``tenant`` attributes it to a tenant's
+        quota/fair share.  Per-request overrides are validated with the
+        same rules :class:`RunConfig` enforces — a negative
+        ``memory_mb`` must not *credit* the admission budget, and a
+        negative ``limit`` must not silently serve all-but-the-last
+        embeddings — and rejected loudly here, at submit time.
         """
         from repro.api.session import resolve_query
 
+        if memory_mb is not None and not (
+            isinstance(memory_mb, (int, float))
+            and not isinstance(memory_mb, bool)
+            and memory_mb > 0
+        ):
+            raise ValueError(
+                f"memory_mb must be a positive number or None, "
+                f"got {memory_mb!r}"
+            )
+        if limit is not None and (
+            not isinstance(limit, int)
+            or isinstance(limit, bool)
+            or limit < 1
+        ):
+            raise ValueError(
+                f"limit must be a positive integer or None, got {limit!r}"
+            )
+        if tenant is not None and (
+            not isinstance(tenant, str) or not tenant
+        ):
+            raise ValueError(
+                f"tenant must be a non-empty string or None, got {tenant!r}"
+            )
         pattern = resolve_query(query)
         if isinstance(pattern, LabeledPattern):
             raise ValueError(
@@ -367,6 +441,25 @@ class QueryScheduler:
                 f"query {pattern.name!r} needs {cost} bytes but the "
                 f"admission budget is {self._budget} bytes"
             )
+        # Tenant gates, both before the cache fast path: the token bucket
+        # shapes *request* rate (cache hits and dedup riders are requests
+        # too), and a request that can never fit the tenant's own memory
+        # budget must fail loudly now, not wait forever at claim time.
+        try:
+            self._tenants.admit(tenant)
+        except QuotaExceeded:
+            with self._cond:
+                self._stats["quota_rejected"] += 1
+            raise
+        tenant_budget = self._tenants.memory_bytes(tenant)
+        if tenant_budget is not None and cost > tenant_budget:
+            self._tenants.reject_memory(tenant)
+            with self._cond:
+                self._stats["rejected"] += 1
+            raise AdmissionError(
+                f"query {pattern.name!r} needs {cost} bytes but tenant "
+                f"{tenant!r}'s memory budget is {tenant_budget} bytes"
+            )
         deadline = None if timeout is None else self._clock() + timeout
         ticket = QueryTicket(
             pattern,
@@ -374,6 +467,7 @@ class QueryScheduler:
             priority=priority,
             deadline=deadline,
             limit=limit,
+            tenant=tenant,
         )
         key = cache_key(
             self.graph,
@@ -393,6 +487,8 @@ class QueryScheduler:
                         raise SchedulerClosed("scheduler is closed")
                     self._stats["submitted"] += 1
                     self._stats["cache_hits"] += 1
+                    self._tenants.note(tenant, "submitted")
+                    self._tenants.note(tenant, "cache_hits")
                 ticket._deliver(
                     lambda: self._finish_result(served, ticket, hit=True)
                 )
@@ -401,6 +497,7 @@ class QueryScheduler:
             if self._closed:
                 raise SchedulerClosed("scheduler is closed")
             self._stats["submitted"] += 1
+            self._tenants.note(tenant, "submitted")
             running = self._inflight.get(key)
             if running is not None:
                 # Deduplicate: ride the in-flight execution.  A rider
@@ -409,6 +506,7 @@ class QueryScheduler:
                 ticket.deduped = True
                 running.requests.append(ticket)
                 self._stats["deduped"] += 1
+                self._tenants.note(tenant, "deduped")
                 if not running.claimed and priority > running.heap_priority:
                     running.heap_priority = priority
                     heapq.heappush(
@@ -505,64 +603,106 @@ class QueryScheduler:
                 finally:
                     with self._cond:
                         self._reserved -= execution.cost
+                        self._tenants.release(
+                            execution.tenant, execution.cost
+                        )
                         self._running -= 1
                         self._cond.notify_all()
         finally:
             if holder[0] is not None:
                 holder[0].close()
 
-    def _claim(self) -> _Execution | None:
-        """Pop the next runnable execution (holding the lock), or None.
+    def _prune(self, execution: _Execution, now: float) -> bool:
+        """Drop dead tickets from ``execution``; True while any remain.
 
-        Strictly priority-ordered: when the head does not fit the
-        remaining budget the worker waits instead of bypassing it, so a
-        large request cannot be starved by a stream of small ones.
-        Progress is guaranteed because no admitted request costs more
-        than the whole budget.
+        Requests that died while queued (timeout / cancel) are counted
+        here; an execution left with no live waiters is skippable.
+        Caller holds the lock.
+        """
+        live: list[QueryTicket] = []
+        for ticket in execution.requests:
+            if ticket.cancelled():
+                self._stats["cancelled"] += 1
+            elif ticket.done():
+                pass  # the deadline timer already failed it
+            elif ticket._expired(now) and ticket._fail(
+                ServiceTimeout(
+                    f"query {ticket.pattern.name!r} timed out after "
+                    f"waiting in the service queue"
+                )
+            ):
+                self._stats["timeouts"] += 1
+            else:
+                live.append(ticket)
+        execution.requests = live
+        return bool(live)
+
+    def _claim(self) -> _Execution | None:
+        """Pick the next runnable execution (holding the lock), or None.
+
+        Strictly priority-ordered against the *global* budget: when the
+        chosen execution does not fit the remaining budget the worker
+        waits instead of bypassing it, so a large request cannot be
+        starved by a stream of small ones (progress is guaranteed
+        because no admitted request costs more than the whole budget).
+        Within the topmost priority that has any runnable work, tenants
+        are weighted fair-shared: the candidate whose tenant holds the
+        least reserved bytes per unit weight claims first (FIFO within a
+        tenant), and a tenant over its own memory budget is skipped —
+        deferred until its running work releases, without blocking other
+        tenants (that deferral is the one sanctioned bypass).
         """
         now = self._clock()
+        # Reap resolved entries off the head first (claimed executions,
+        # pre-escalation duplicates, executions whose waiters all died)
+        # so the heap does not accumulate garbage across claims.
         while self._heap:
             neg_priority, _seq, execution = self._heap[0]
-            # Stale entries: the execution was already taken, or this
-            # entry predates a dedup priority escalation (a fresher one
-            # is elsewhere in the heap).
             if execution.claimed or -neg_priority != execution.heap_priority:
                 heapq.heappop(self._heap)
                 continue
-            # Drop requests that died while queued (timeout / cancel);
-            # skip the whole execution when nobody is left waiting.
-            live: list[QueryTicket] = []
-            for ticket in execution.requests:
-                if ticket.cancelled():
-                    self._stats["cancelled"] += 1
-                elif ticket.done():
-                    pass  # the deadline timer already failed it
-                elif ticket._expired(now) and ticket._fail(
-                    ServiceTimeout(
-                        f"query {ticket.pattern.name!r} timed out after "
-                        f"waiting in the service queue"
-                    )
-                ):
-                    self._stats["timeouts"] += 1
-                else:
-                    live.append(ticket)
-            execution.requests = live
-            if not live:
+            if not self._prune(execution, now):
                 heapq.heappop(self._heap)
                 execution.claimed = True
                 self._inflight.pop(execution.key, None)
                 continue
-            if self._budget is not None and (
-                self._reserved + execution.cost > self._budget
+            break
+        # Scan in priority order for the fair-share winner of the
+        # topmost priority with tenant headroom.  The winner may sit
+        # below tenant-blocked entries; it is claimed in place (its heap
+        # entry goes stale and is reaped by the loop above later).
+        best: "tuple[tuple[float, int], _Execution] | None" = None
+        top_priority: int | None = None
+        for neg_priority, seq, execution in sorted(self._heap):
+            if execution.claimed or -neg_priority != execution.heap_priority:
+                continue
+            if top_priority is not None and -neg_priority != top_priority:
+                break
+            if not self._prune(execution, now):
+                execution.claimed = True
+                self._inflight.pop(execution.key, None)
+                continue
+            if not self._tenants.has_headroom(
+                execution.tenant, execution.cost
             ):
-                return None
-            heapq.heappop(self._heap)
-            execution.claimed = True
-            self._reserved += execution.cost
-            self._running += 1
-            self._max_in_flight = max(self._max_in_flight, self._running)
-            return execution
-        return None
+                continue  # deferred: over its own budget, others proceed
+            top_priority = -neg_priority
+            rank = (self._tenants.fair_key(execution.tenant), seq)
+            if best is None or rank < best[0]:
+                best = (rank, execution)
+        if best is None:
+            return None
+        execution = best[1]
+        if self._budget is not None and (
+            self._reserved + execution.cost > self._budget
+        ):
+            return None
+        execution.claimed = True
+        self._reserved += execution.cost
+        self._tenants.reserve(execution.tenant, execution.cost)
+        self._running += 1
+        self._max_in_flight = max(self._max_in_flight, self._running)
+        return execution
 
     def _execute(
         self,
@@ -576,7 +716,9 @@ class QueryScheduler:
             # problem must fail the waiting tickets, not unwind (and
             # permanently kill) the worker.
             if holder[0] is None:
-                holder[0] = self.config.make_executor()
+                holder[0] = self.config.make_executor(
+                    registry=self.shard_registry
+                )
             executor = holder[0]
             engine = engines.get(execution.engine)
             if engine is None:
@@ -610,7 +752,11 @@ class QueryScheduler:
                 requests = list(execution.requests)
             # Count only tickets this failure actually resolved — ones
             # already timed out or cancelled are in those counters.
-            failed = sum(1 for ticket in requests if ticket._fail(exc))
+            failed = 0
+            for ticket in requests:
+                if ticket._fail(exc):
+                    failed += 1
+                    self._tenants.note(ticket.tenant, "failed")
             with self._cond:
                 self._stats["failed"] += failed
             return
@@ -653,6 +799,7 @@ class QueryScheduler:
                 lambda t=ticket: self._serve_copy(raw, execution.pattern, t)
             ):
                 delivered += 1
+                self._tenants.note(ticket.tenant, "completed")
         with self._cond:
             self._stats["completed"] += delivered
 
@@ -689,13 +836,25 @@ class QueryScheduler:
         """JSON-safe snapshot of scheduler (and cache) counters."""
         with self._cond:
             snapshot: dict[str, Any] = dict(self._stats)
-            snapshot["queued"] = len(self._heap)
+            # Count live queued work, not raw heap entries: the heap
+            # also holds stale duplicates left by priority escalation,
+            # claimed executions awaiting reap, and executions whose
+            # waiters all timed out or cancelled.
+            queued = {
+                id(execution)
+                for neg_priority, _seq, execution in self._heap
+                if not execution.claimed
+                and -neg_priority == execution.heap_priority
+                and any(not ticket.done() for ticket in execution.requests)
+            }
+            snapshot["queued"] = len(queued)
             snapshot["running"] = self._running
             snapshot["max_in_flight"] = self._max_in_flight
             snapshot["threads"] = self._threads
             snapshot["budget_bytes"] = self._budget
             snapshot["reserved_bytes"] = self._reserved
         snapshot["cache"] = None if self.cache is None else self.cache.stats()
+        snapshot["tenants"] = self._tenants.stats()
         return snapshot
 
     def close(self, *, cancel_pending: bool = True) -> None:

@@ -26,17 +26,22 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 from concurrent.futures import CancelledError
 from typing import TYPE_CHECKING, Any
 
 from repro.api.config import RunConfig
 from repro.api.registry import EngineRegistry, default_registry
+from repro.distributed.registry import ShardRegistry
 from repro.service import protocol
 from repro.service.cache import ResultCache
 from repro.service.scheduler import QueryScheduler, ServiceTimeout
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from typing import Mapping
+
     from repro.graph.graph import Graph
+    from repro.service.tenancy import TenantQuota
 
 __all__ = ["QueryServer"]
 
@@ -104,13 +109,34 @@ class QueryServer:
         port: int = 0,
         threads: int = 4,
         cache: "ResultCache | None | bool" = None,
+        cache_dir: "str | None" = None,
         memory_budget_mb: float | None = None,
         log_path: "str | None" = None,
         partition: Any = None,
+        tenants: "Mapping[str, TenantQuota] | None" = None,
+        default_quota: "TenantQuota | None" = None,
+        shard_registry: "ShardRegistry | None" = None,
     ):
         self.graph = graph
         self.config = config or RunConfig()
         self.registry = registry or default_registry()
+        if cache_dir is not None:
+            if isinstance(cache, ResultCache):
+                raise ValueError(
+                    "pass either a ready ResultCache (configure its "
+                    "disk_dir yourself) or cache_dir, not both"
+                )
+            if cache is False:
+                raise ValueError("cache_dir is meaningless with cache=False")
+            cache = ResultCache(disk_dir=cache_dir)
+        # Always own a registry: the announce op must work even when the
+        # backend is local (a worker can announce before an operator
+        # flips the config to socket on restart), and metrics reports
+        # the roster either way.
+        self.shard_registry = (
+            shard_registry if shard_registry is not None else ShardRegistry()
+        )
+        self._started = time.monotonic()
         # Bind before building the scheduler: a bind failure (port in
         # use) must not strand live worker threads / process pools.
         self._tcp = _TCPServer((host, int(port)), _Handler)
@@ -123,6 +149,9 @@ class QueryServer:
                 cache=cache,
                 memory_budget_mb=memory_budget_mb,
                 partition=partition,
+                tenants=tenants,
+                default_quota=default_quota,
+                shard_registry=self.shard_registry,
             )
         except BaseException:
             self._tcp.server_close()
@@ -230,6 +259,12 @@ class QueryServer:
                 )
             if op == "shutdown":
                 return protocol.ok_response(request_id, "bye", None)
+            if op == "announce":
+                return self._op_announce(request_id, message)
+            if op == "metrics":
+                return protocol.ok_response(
+                    request_id, "metrics", self._metrics()
+                )
             return protocol.error_response(
                 request_id,
                 f"unknown op {op!r}; expected one of "
@@ -251,22 +286,83 @@ class QueryServer:
                 request_id, f"{type(exc).__name__}: {exc}"
             )
 
+    @staticmethod
+    def _bad_field(name: str, expected: str, value: Any) -> str:
+        return (
+            f"invalid {name!r} field: expected {expected}, got {value!r}"
+        )
+
+    def _validate_submit(self, message: dict[str, Any]) -> "str | None":
+        """The first malformed submit field as an error message, or None.
+
+        Checked up front, naming the offending field, so a typed client
+        bug ("priority": "high") gets a protocol error it can act on —
+        not a generic coercion traceback — and the connection stays
+        serviceable.
+        """
+        query = message.get("query")
+        if not isinstance(query, str) or not query:
+            return "submit needs a 'query' (name or pattern DSL)"
+        engine = message.get("engine")
+        if engine is not None and not isinstance(engine, str):
+            return self._bad_field("engine", "an engine name string", engine)
+        priority = message.get("priority")
+        if priority is not None and (
+            not isinstance(priority, int) or isinstance(priority, bool)
+        ):
+            return self._bad_field("priority", "an integer", priority)
+        timeout = message.get("timeout")
+        if timeout is not None and (
+            not isinstance(timeout, (int, float))
+            or isinstance(timeout, bool)
+            or timeout <= 0
+        ):
+            return self._bad_field(
+                "timeout", "a positive number of seconds", timeout
+            )
+        collect = message.get("collect")
+        if collect is not None and not isinstance(collect, bool):
+            return self._bad_field("collect", "a boolean", collect)
+        limit = message.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int)
+            or isinstance(limit, bool)
+            or limit < 1
+        ):
+            return self._bad_field("limit", "a positive integer", limit)
+        memory_mb = message.get("memory_mb")
+        if memory_mb is not None and (
+            not isinstance(memory_mb, (int, float))
+            or isinstance(memory_mb, bool)
+            or memory_mb <= 0
+        ):
+            return self._bad_field(
+                "memory_mb", "a positive number of MiB", memory_mb
+            )
+        tenant = message.get("tenant")
+        if tenant is not None and (
+            not isinstance(tenant, str) or not tenant
+        ):
+            return self._bad_field(
+                "tenant", "a non-empty tenant name string", tenant
+            )
+        return None
+
     def _op_submit(
         self, request_id: Any, message: dict[str, Any]
     ) -> dict[str, Any]:
-        query = message.get("query")
-        if not query:
-            return protocol.error_response(
-                request_id, "submit needs a 'query' (name or pattern DSL)"
-            )
+        problem = self._validate_submit(message)
+        if problem is not None:
+            return protocol.error_response(request_id, problem)
         ticket = self.scheduler.submit(
-            str(query),
-            str(message.get("engine", "RADS")),
-            priority=int(message.get("priority", 0)),
+            str(message["query"]),
+            str(message.get("engine") or "RADS"),
+            priority=message.get("priority") or 0,
             timeout=message.get("timeout"),
             collect=message.get("collect"),
             limit=message.get("limit"),
             memory_mb=message.get("memory_mb"),
+            tenant=message.get("tenant"),
         )
         result = ticket.result()
         cache = (
@@ -307,6 +403,86 @@ class QueryServer:
         record = explanation.to_dict()
         self._log_record(record)
         return protocol.ok_response(request_id, "explanation", record)
+
+    def _op_announce(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        address = message.get("address")
+        if not isinstance(address, str) or not address:
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "address", "a 'host:port' worker address", address
+                ),
+            )
+        try:
+            host, port = protocol.parse_address(address)
+        except ValueError as exc:
+            return protocol.error_response(
+                request_id, f"invalid 'address' field: {exc}"
+            )
+        canonical = f"{host}:{port}"
+        if message.get("withdraw"):
+            known = self.shard_registry.withdraw(canonical)
+            return protocol.ok_response(
+                request_id,
+                "withdrawn",
+                {
+                    "address": canonical,
+                    "known": known,
+                    "roster": len(self.shard_registry),
+                    "version": self.shard_registry.version(),
+                },
+            )
+        graphs = message.get("graphs") or ()
+        if not isinstance(graphs, (list, tuple)) or not all(
+            isinstance(g, str) for g in graphs
+        ):
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "graphs", "a list of graph fingerprints", graphs
+                ),
+            )
+        version = self.shard_registry.announce(
+            canonical,
+            graphs=graphs,
+            workers=message.get("workers"),
+            pid=message.get("pid"),
+        )
+        stale_after = self.shard_registry.stale_after
+        return protocol.ok_response(
+            request_id,
+            "announced",
+            {
+                "address": canonical,
+                "roster": len(self.shard_registry),
+                "version": version,
+                # The re-announce cadence that keeps the entry fresh.
+                "interval": (
+                    None if stale_after is None else stale_after / 3.0
+                ),
+            },
+        )
+
+    def _metrics(self) -> dict[str, Any]:
+        """Structured service counters for the ``metrics`` op."""
+        scheduler = self.scheduler.stats()
+        cache = scheduler.pop("cache", None)
+        tenants = scheduler.pop("tenants", {})
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "graph": self.graph.fingerprint(),
+            "scheduler": scheduler,
+            "cache": cache,
+            "tenants": tenants,
+            "shards": {
+                "configured": list(self.config.shards or ()),
+                "registry": self.shard_registry.snapshot(),
+                "version": self.shard_registry.version(),
+            },
+        }
 
     # ------------------------------------------------------------------
     def _log_record(self, record: dict[str, Any]) -> None:

@@ -587,9 +587,13 @@ class TestWorkerDaemon:
 
 
 class TestConfigAndCapabilities:
-    def test_socket_backend_requires_shards(self):
+    def test_socket_backend_requires_shards_or_registry(self):
+        # The config itself is now valid (an elastic registry may supply
+        # the roster later); the executor build is where a shardless,
+        # registryless socket backend fails loudly.
+        config = RunConfig(backend="socket")
         with pytest.raises(ConfigError, match="needs shards"):
-            RunConfig(backend="socket")
+            config.make_executor()
 
     def test_shards_require_socket_backend(self):
         with pytest.raises(ConfigError, match="only apply to the socket"):
