@@ -1,0 +1,148 @@
+"""Extension benchmark: incremental deltas vs full re-enumeration.
+
+Streams edge batches of three sizes into a live graph with a registered
+continuous triangle + square watch, and times two ways of keeping the
+answers fresh per batch:
+
+- **incremental** — the streaming matcher's delta (root the backtracking
+  machinery at each touched edge, attribute embeddings to the first
+  touched edge they use), the path ``ContinuousQueryManager.ingest``
+  runs;
+- **full recount** — re-enumerate both snapshots and diff the sets, the
+  thing a one-shot service would have to do.
+
+Both must produce identical delta sets (asserted per batch — this is the
+parity acceptance run at benchmark scale); the table reports
+batches/sec for each method and the speedup.  Incremental work scales
+with batch size × pattern-local neighbourhoods, full recount with graph
+size, so the gap is widest on small batches — exactly the firehose
+regime the streaming layer exists for.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.bench.experiments import bench_graph
+from repro.query import named_patterns
+from repro.streaming import IncrementalMatcher, full_embeddings
+
+PATTERNS = ("triangle", "square")
+#: Edge-batch sizes (adds + deletes each batch, half and half).
+BATCH_SIZES = (4, 16, 64)
+#: Batches timed per (method, size) cell.
+BATCHES = 6
+
+
+def _sample_absent(rng, taken, n, count):
+    """``count`` distinct canonical edges not in ``taken`` (rejection)."""
+    picked = []
+    chosen = set()
+    while len(picked) < count:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u == v:
+            continue
+        edge = (min(u, v), max(u, v))
+        if edge in taken or edge in chosen:
+            continue
+        chosen.add(edge)
+        picked.append(edge)
+    return picked
+
+
+def _make_batches(graph, size, count, seed):
+    """``count`` half-add/half-delete batches applied back to back."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    snapshots = [graph]
+    for _ in range(count):
+        present = sorted(graph.edges())
+        taken = set(present)
+        adds = _sample_absent(rng, taken, graph.num_vertices, size // 2)
+        dels = [
+            present[i]
+            for i in rng.choice(len(present), size - size // 2,
+                                replace=False)
+        ]
+        batches.append((adds, dels))
+        graph = graph.apply_batch(additions=adds, deletions=dels)
+        snapshots.append(graph)
+    return batches, snapshots
+
+
+def test_ext_streaming_incremental_vs_full(benchmark, report):
+    base = bench_graph("roadnet")
+    patterns = {
+        name: named_patterns()[name] for name in PATTERNS
+    }
+    matchers = {
+        name: IncrementalMatcher(pattern)
+        for name, pattern in patterns.items()
+    }
+
+    def experiment():
+        rows = []
+        for size in BATCH_SIZES:
+            batches, snapshots = _make_batches(
+                base, size, BATCHES, seed=size
+            )
+            # Incremental: delta from the touched edges only.
+            start = time.perf_counter()
+            incremental = []
+            for (adds, dels), old, new in zip(
+                batches, snapshots, snapshots[1:]
+            ):
+                per_pattern = {}
+                for name, matcher in matchers.items():
+                    added, removed = matcher.delta(old, new, adds, dels)
+                    per_pattern[name] = (set(added), set(removed))
+                incremental.append(per_pattern)
+            inc_elapsed = time.perf_counter() - start
+
+            # Full recount: enumerate every snapshot once (the previous
+            # snapshot's set is kept, as a one-shot service would), diff
+            # consecutive pairs.
+            start = time.perf_counter()
+            recounted = []
+            previous = {
+                name: full_embeddings(snapshots[0], pattern)
+                for name, pattern in patterns.items()
+            }
+            for new in snapshots[1:]:
+                per_pattern = {}
+                for name, pattern in patterns.items():
+                    new_full = full_embeddings(new, pattern)
+                    old_full = previous[name]
+                    per_pattern[name] = (
+                        new_full - old_full, old_full - new_full
+                    )
+                    previous[name] = new_full
+                recounted.append(per_pattern)
+            full_elapsed = time.perf_counter() - start
+
+            assert incremental == recounted
+            rows.append((size, inc_elapsed, full_elapsed))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        f"Streaming deltas — roadnet, {' + '.join(PATTERNS)} watches, "
+        f"{BATCHES} mixed batches per size",
+        f"  {'batch':>6}   {'incremental':>12}   {'full recount':>12}"
+        f"   {'speedup':>8}",
+    ]
+    for size, inc_elapsed, full_elapsed in rows:
+        inc_bps = BATCHES / inc_elapsed if inc_elapsed else float("inf")
+        full_bps = BATCHES / full_elapsed if full_elapsed else float("inf")
+        speedup = full_elapsed / inc_elapsed if inc_elapsed else float("inf")
+        lines.append(
+            f"  {size:>6}   {inc_bps:>9.1f} b/s   {full_bps:>9.1f} b/s"
+            f"   {speedup:>7.1f}x"
+        )
+    lines.append("  delta sets: identical between methods (asserted)")
+    report("ext_streaming", "\n".join(lines))

@@ -70,6 +70,16 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "ResultCache": ("repro.service.cache", "ResultCache"),
     "ServiceTimeout": ("repro.service.scheduler", "ServiceTimeout"),
     "AdmissionError": ("repro.service.scheduler", "AdmissionError"),
+    "Subscription": ("repro.service.client", "Subscription"),
+    # -- streaming ingest + continuous queries -------------------------
+    "ContinuousQueryManager": (
+        "repro.streaming.continuous", "ContinuousQueryManager"
+    ),
+    "Watch": ("repro.streaming.continuous", "Watch"),
+    "IncrementalMatcher": ("repro.streaming.incremental", "IncrementalMatcher"),
+    "DeltaRecord": ("repro.streaming.records", "DeltaRecord"),
+    "GraphVersion": ("repro.streaming.version", "GraphVersion"),
+    "VersionedGraph": ("repro.streaming.version", "VersionedGraph"),
     # -- the declarative query surface ---------------------------------
     "pattern": ("repro.query.dsl", "parse_pattern"),
     "parse_pattern": ("repro.query.dsl", "parse_pattern"),

@@ -20,10 +20,11 @@ from repro.engines.base import RunResult
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.bench.harness import GridResult
     from repro.query.explain import QueryExplanation
+    from repro.streaming.records import DeltaRecord
 
     #: Records these helpers read and write (a real alias so checkers
     #: and get_type_hints can resolve the annotations below).
-    Record = RunResult | QueryExplanation
+    Record = RunResult | QueryExplanation | DeltaRecord
 
 
 def result_to_json(result: RunResult, *, indent: int | None = None) -> str:
@@ -46,11 +47,16 @@ def record_to_dict(record: "Record | dict[str, Any]") -> dict[str, Any]:
 def record_from_dict(data: dict[str, Any]) -> "Record":
     """Rebuild a record from its dict form, dispatching on the schema.
 
+    ``DeltaRecord`` dicts carry an explicit ``"kind": "delta"`` tag;
     ``QueryExplanation`` dicts are recognised by their ``rounds`` /
     ``matching_order`` keys, ``RunResult`` dicts by ``embedding_count``;
     anything else raises ``ValueError`` (a record log should only contain
-    the two).
+    the three).
     """
+    if data.get("kind") == "delta":
+        from repro.streaming.records import DeltaRecord
+
+        return DeltaRecord.from_dict(data)
     if "rounds" in data and "matching_order" in data:
         from repro.query.explain import QueryExplanation
 
@@ -59,7 +65,8 @@ def record_from_dict(data: dict[str, Any]) -> "Record":
         return RunResult.from_dict(data)
     raise ValueError(
         f"unrecognised record schema (keys: {sorted(data)[:8]}); expected "
-        f"RunResult.to_dict() or QueryExplanation.to_dict() output"
+        f"RunResult.to_dict(), QueryExplanation.to_dict() or "
+        f"DeltaRecord.to_dict() output"
     )
 
 
@@ -102,7 +109,7 @@ def read_results_jsonl(path: str | Path) -> list[RunResult]:
 
 
 def read_records_jsonl(path: str | Path) -> "list[Record]":
-    """Read back a mixed JSONL log of results and explanations.
+    """Read back a mixed JSONL log of results, explanations and deltas.
 
     The inverse of :func:`write_results_jsonl` /
     :func:`append_record_jsonl`; each line comes back as the right type

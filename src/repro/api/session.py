@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.api.config import RunConfig
 from repro.api.registry import (
@@ -50,6 +50,8 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.query.explain import QueryExplanation
     from repro.runtime.executor import Executor
     from repro.service.server import QueryServer
+    from repro.streaming.continuous import ContinuousQueryManager, Watch
+    from repro.streaming.version import GraphVersion
 
 #: Sentinel distinguishing "not passed" from an explicit ``None``.
 _UNSET: Any = object()
@@ -203,6 +205,7 @@ class Session:
         self._query_name: str | None = None
         self._partition = None
         self._executor: "Executor | None" = None
+        self._streams: "ContinuousQueryManager | None" = None
         # Re-entrant: run() takes it and calls locked helpers like
         # _get_partition(); re-entrancy keeps those compositions simple.
         self._lock = threading.RLock()
@@ -596,6 +599,96 @@ class Session:
                 shard_registry=shard_registry,
             )
         return server.start() if start else server
+
+    # -- streaming / continuous queries --------------------------------
+    def watch(
+        self,
+        query: "str | Pattern",
+        *,
+        collect: bool = True,
+    ) -> "Watch":
+        """Register a continuous query against this session's graph.
+
+        Returns a :class:`~repro.streaming.continuous.Watch`; every
+        subsequent :meth:`ingest` batch publishes one
+        :class:`~repro.streaming.records.DeltaRecord` (the embeddings
+        that appeared and vanished) to it, drained with
+        ``watch.poll()``::
+
+            session = repro.open(graph)
+            alerts = session.watch("a-b, b-c, c-a")
+            session.ingest(additions=[(0, 9)])
+            [delta] = alerts.poll()
+
+        Unlabeled queries only.  Deltas are computed inline on the
+        ingesting thread (for a quota-governed worker-pool version of
+        the same machinery, serve the graph and use
+        ``ServiceClient.register``).
+        """
+        return self._get_streams().register(query, collect=collect)
+
+    def unwatch(self, watch: "Watch | str") -> bool:
+        """Remove a watch (idempotent; accepts the Watch or its id)."""
+        with self._lock:
+            if self._streams is None:
+                return False
+            watch_id = watch if isinstance(watch, str) else watch.id
+            return self._streams.unregister(watch_id)
+
+    def ingest(
+        self,
+        additions: "Iterable[tuple[int, int]]" = (),
+        deletions: "Iterable[tuple[int, int]]" = (),
+    ) -> dict[str, Any]:
+        """Apply one edge batch to the session graph, advancing its version.
+
+        The batch is validated strictly (no duplicate or missing edges,
+        no addition/deletion overlap) and merged into a fresh CSR
+        snapshot — through the session's process pool when one is
+        configured.  The session then rebinds to the new snapshot:
+        ``session.graph`` answers with the new version, the cached
+        partition is invalidated, and a selected engine is rebuilt, so
+        the next ``run()`` sees the updated graph.  Every live
+        :meth:`watch` receives its delta embeddings for the batch.
+
+        Returns the ingest report (new version/fingerprint, batch sizes,
+        per-watch delta counts).
+        """
+        with self._lock:
+            streams = self._get_streams()
+            return streams.ingest(
+                additions, deletions, executor=self._get_executor()
+            )
+
+    def _get_streams(self) -> "ContinuousQueryManager":
+        with self._lock:
+            if self._labeled_graph is not None:
+                raise ValueError(
+                    "streaming ingest supports unlabeled graphs only"
+                )
+            if self._streams is None:
+                from repro.streaming.continuous import ContinuousQueryManager
+
+                self._streams = ContinuousQueryManager(
+                    self._graph, on_rebind=self._on_stream_rebind
+                )
+            return self._streams
+
+    def _on_stream_rebind(
+        self, old: "GraphVersion", new: "GraphVersion"
+    ) -> None:
+        """Swap the session onto a freshly ingested graph snapshot."""
+        with self._lock:
+            self._graph = new.graph
+            # The partition described the old snapshot; the executor is
+            # graph-independent (pure-function workers) and survives.
+            self._invalidate(partition=True, executor=False)
+            if self._engine_name is not None:
+                self._engine = self._registry.create(
+                    self._engine_name,
+                    graph=self._graph,
+                    **self._engine_kwargs,
+                )
 
     # -- lifecycle -----------------------------------------------------
     def _get_executor(self) -> "Executor":

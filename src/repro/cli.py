@@ -435,6 +435,110 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edge_spec(spec: str, *, option: str) -> list[tuple[int, int]]:
+    """``"0-5, 2-7"`` -> ``[(0, 5), (2, 7)]`` (SystemExit on bad input)."""
+    edges = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        left, sep, right = chunk.partition("-")
+        if not sep or not left.strip().isdigit() or not right.strip().isdigit():
+            raise SystemExit(
+                f"{option} wants comma-separated u-v vertex pairs like "
+                f"'0-5,2-7', got {chunk!r}"
+            )
+        edges.append((int(left), int(right)))
+    return edges
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, connect
+
+    additions = _parse_edge_spec(args.add or "", option="--add")
+    deletions = _parse_edge_spec(args.delete or "", option="--delete")
+    if not additions and not deletions:
+        raise SystemExit("ingest needs --add and/or --delete edge lists")
+    try:
+        client = connect((args.host, args.port))
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot connect to a query server at "
+            f"{args.host}:{args.port}: {exc}"
+        )
+    with client:
+        try:
+            report = client.ingest(
+                additions=additions or None, deletions=deletions or None
+            )
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0
+    print(
+        f"version {report['version']}: +{report['batch']['additions']} "
+        f"-{report['batch']['deletions']} edges, "
+        f"{report['num_edges']} total"
+    )
+    for watch_id, outcome in sorted(report.get("watches", {}).items()):
+        if outcome.get("dropped"):
+            print(f"  {watch_id}: dropped ({outcome['error']})")
+        elif outcome.get("failed"):
+            print(f"  {watch_id}: failed ({outcome['error']})")
+        else:
+            print(
+                f"  {watch_id}: +{outcome['added']} -{outcome['removed']} "
+                f"embeddings"
+            )
+    return 0
+
+
+def _cmd_subscribe(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, connect
+
+    try:
+        client = connect((args.host, args.port), timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot connect to a query server at "
+            f"{args.host}:{args.port}: {exc}"
+        )
+    delivered = 0
+    with client:
+        try:
+            with client.subscribe(
+                args.query, tenant=args.tenant,
+                collect=True if args.show > 0 else None,
+            ) as subscription:
+                for record in subscription:
+                    if args.json:
+                        print(json.dumps(record.to_dict(), sort_keys=True),
+                              flush=True)
+                    else:
+                        print(
+                            f"v{record.version}: +{record.added_count} "
+                            f"-{record.removed_count} {record.pattern_name}",
+                            flush=True,
+                        )
+                        for emb in (record.added or [])[: args.show]:
+                            print("   +", emb)
+                        for emb in (record.removed or [])[: args.show]:
+                            print("   -", emb)
+                    delivered += 1
+                    if args.count and delivered >= args.count:
+                        break
+        except (ServiceError, TimeoutError) as exc:
+            if delivered:
+                # The stream already produced what it produced; a timeout
+                # after N deltas is an exit condition, not a failure.
+                return 0
+            raise SystemExit(str(exc))
+        except KeyboardInterrupt:
+            return 0
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.graph import diameter_lower_bound, triangle_count
 
@@ -613,6 +717,48 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shutdown", action="store_true",
                         help="ask the server to stop serving and exit")
     submit.set_defaults(func=_cmd_submit)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="apply one edge batch (additions/deletions) to a running "
+             "repro serve instance",
+    )
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument("--port", type=int, default=7463)
+    ingest.add_argument("--add", default=None,
+                        help="edges to add: comma-separated u-v pairs, "
+                             "e.g. '0-5,2-7'")
+    ingest.add_argument("--delete", default=None,
+                        help="edges to delete (same u-v spelling)")
+    ingest.add_argument("--json", action="store_true",
+                        help="emit the ingest report (new version, "
+                             "per-watch delta counts) as one JSON document")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    subscribe = sub.add_parser(
+        "subscribe",
+        help="register a continuous query and stream its delta "
+             "embeddings as batches are ingested",
+    )
+    subscribe.add_argument("--host", default="127.0.0.1")
+    subscribe.add_argument("--port", type=int, default=7463)
+    subscribe.add_argument("--query", required=True,
+                           help="registered name or edge-list DSL")
+    subscribe.add_argument("--tenant", default=None,
+                           help="attribute delta computations to this "
+                                "tenant's server-side quota")
+    subscribe.add_argument("--count", type=int, default=0,
+                           help="exit after N deltas (0 = stream forever)")
+    subscribe.add_argument("--timeout", type=float, default=None,
+                           help="exit when no delta arrives for this many "
+                                "seconds")
+    subscribe.add_argument("--show", type=int, default=0,
+                           help="collect and print up to N added/removed "
+                                "embeddings per delta")
+    subscribe.add_argument("--json", action="store_true",
+                           help="one DeltaRecord.to_dict() JSON line per "
+                                "delta")
+    subscribe.set_defaults(func=_cmd_subscribe)
 
     worker = sub.add_parser(
         "worker",

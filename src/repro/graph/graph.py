@@ -13,6 +13,61 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """A read-only view of ``array`` (zero-copy).
+
+    The CSR arrays back cached state all over the repository — the
+    :meth:`Graph.fingerprint` digest, result-cache keys, shared-memory
+    segments attached by worker processes.  Freezing a *view* (not a
+    copy) keeps those zero-copy paths intact while making accidental
+    in-place mutation raise instead of silently serving a stale digest.
+    """
+    if array.flags.writeable:
+        array = array.view()
+        array.flags.writeable = False
+    return array
+
+
+def canonical_edge_array(
+    edges: Iterable[tuple[int, int]], num_vertices: int, *, field: str = "edges"
+) -> np.ndarray:
+    """Normalise an edge iterable to a ``(k, 2)`` int64 array, ``u < v``.
+
+    Shared by :meth:`Graph.apply_batch` and the streaming delta matcher
+    so both agree on the canonical orientation and deduplication of a
+    batch.  ``field`` names the offending argument in error messages.
+    """
+    edge_list = list(edges)
+    if not edge_list:
+        return np.empty((0, 2), dtype=np.int64)
+    arr = np.asarray(edge_list, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"{field} must be (u, v) pairs")
+    if (arr[:, 0] == arr[:, 1]).any():
+        raise ValueError(f"{field}: self loops are not allowed")
+    if arr.min() < 0 or arr.max() >= num_vertices:
+        raise ValueError(f"{field}: edge endpoint out of range")
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    keys = np.unique(lo * np.int64(num_vertices) + hi)
+    return np.column_stack([keys // num_vertices, keys % num_vertices])
+
+
+def _merge_adjacency_chunk(task: tuple) -> np.ndarray:
+    """Merge one vertex-range chunk of a delta CSR build.
+
+    Module-level (not a closure) so parallel executors can pickle it.
+    ``task`` carries the chunk's surviving old entries and its new
+    directed additions; the result is the chunk's neighbour segment
+    sorted by ``(src, dst)``, ready to concatenate with its siblings.
+    """
+    old_src, old_dst, add_src, add_dst = task
+    src = np.concatenate([old_src, add_src])
+    dst = np.concatenate([old_dst, add_dst])
+    order = np.lexsort((dst, src))
+    return dst[order]
+
+
 class Graph:
     """An immutable, unlabeled, undirected graph.
 
@@ -31,8 +86,8 @@ class Graph:
     __slots__ = ("_indptr", "_indices", "_num_edges", "_fingerprint")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
-        self._indptr = np.asarray(indptr, dtype=np.int64)
-        self._indices = np.asarray(indices, dtype=np.int64)
+        self._indptr = _frozen(np.asarray(indptr, dtype=np.int64))
+        self._indices = _frozen(np.asarray(indices, dtype=np.int64))
         self._num_edges = int(len(self._indices) // 2)
         self._fingerprint: str | None = None
 
@@ -91,6 +146,106 @@ class Graph:
             if u > v
         ]
         return cls.from_edges(len(adjacency), edges + extra)
+
+    def apply_batch(
+        self,
+        additions: Iterable[tuple[int, int]] = (),
+        deletions: Iterable[tuple[int, int]] = (),
+        *,
+        executor=None,
+    ) -> "Graph":
+        """A new snapshot with ``additions`` inserted and ``deletions`` removed.
+
+        This is the streaming mutation primitive: ``self`` is untouched
+        (in-flight queries keep reading their snapshot) and the result is
+        a fresh CSR built by *delta merge* — unaffected neighbour lists
+        are copied in bulk and only the touched vertices pay a sort —
+        rather than a full :meth:`from_edges` rebuild.  The merge is
+        chunked over vertex ranges; pass an active
+        :class:`repro.runtime.executor.Executor` to fan the chunks out
+        through its :meth:`~repro.runtime.executor.Executor.map`.
+
+        Batches are validated strictly so delta semantics stay exact:
+        adding an edge that already exists, deleting one that does not,
+        or listing the same edge in both sets raises ``ValueError``
+        naming the offending argument.
+        """
+        n = self.num_vertices
+        add = canonical_edge_array(additions, n, field="additions")
+        delete = canonical_edge_array(deletions, n, field="deletions")
+        if len(add) == 0 and len(delete) == 0:
+            return Graph(self._indptr, self._indices)
+        if len(add) and len(delete):
+            add_keys = add[:, 0] * np.int64(n) + add[:, 1]
+            del_keys = delete[:, 0] * np.int64(n) + delete[:, 1]
+            overlap = np.intersect1d(add_keys, del_keys)
+            if len(overlap):
+                u, v = int(overlap[0]) // n, int(overlap[0]) % n
+                raise ValueError(
+                    f"additions and deletions overlap on edge ({u}, {v})"
+                )
+        for u, v in add:
+            if self.has_edge(int(u), int(v)):
+                raise ValueError(
+                    f"additions: edge ({int(u)}, {int(v)}) already present"
+                )
+        for u, v in delete:
+            if not self.has_edge(int(u), int(v)):
+                raise ValueError(
+                    f"deletions: edge ({int(u)}, {int(v)}) not present"
+                )
+
+        # Directed views of the batch, sorted by (src, dst).
+        add_src = np.concatenate([add[:, 0], add[:, 1]])
+        add_dst = np.concatenate([add[:, 1], add[:, 0]])
+        order = np.lexsort((add_dst, add_src))
+        add_src, add_dst = add_src[order], add_dst[order]
+        del_src = np.concatenate([delete[:, 0], delete[:, 1]])
+        del_dst = np.concatenate([delete[:, 1], delete[:, 0]])
+
+        # Mark deleted slots in the old indices array.
+        keep = np.ones(len(self._indices), dtype=bool)
+        for u, v in zip(del_src, del_dst):
+            base = int(self._indptr[u])
+            offset = int(np.searchsorted(self.neighbors(int(u)), v))
+            keep[base + offset] = False
+
+        degrees = self.degrees()
+        add_counts = np.bincount(add_src, minlength=n)
+        del_counts = np.bincount(del_src, minlength=n)
+        new_degrees = degrees + add_counts - del_counts
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(new_degrees, out=indptr[1:])
+
+        # Old entries' source ids, needed to keep chunk merges sorted.
+        old_src_all = np.repeat(np.arange(n, dtype=np.int64), degrees)
+
+        parallel = executor is not None and getattr(executor, "parallel", False)
+        workers = getattr(executor, "workers", 1) if parallel else 1
+        num_chunks = min(n, max(1, workers * 4)) if parallel else 1
+        bounds = np.linspace(0, n, num_chunks + 1).astype(np.int64)
+        tasks = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if lo == hi:
+                continue
+            s, e = int(self._indptr[lo]), int(self._indptr[hi])
+            chunk_keep = keep[s:e]
+            a_lo = int(np.searchsorted(add_src, lo, side="left"))
+            a_hi = int(np.searchsorted(add_src, hi, side="left"))
+            tasks.append((
+                old_src_all[s:e][chunk_keep],
+                self._indices[s:e][chunk_keep],
+                add_src[a_lo:a_hi],
+                add_dst[a_lo:a_hi],
+            ))
+        if parallel and len(tasks) > 1:
+            segments = executor.map(_merge_adjacency_chunk, tasks)
+        else:
+            segments = [_merge_adjacency_chunk(task) for task in tasks]
+        indices = (
+            np.concatenate(segments) if segments else np.empty(0, dtype=np.int64)
+        )
+        return Graph(indptr, indices)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -151,8 +306,11 @@ class Graph:
         """Content hash of the adjacency structure (hex SHA-256).
 
         Equal iff the CSR arrays are equal, i.e. iff the graphs compare
-        ``==``.  Computed once and cached (the graph is immutable); used by
-        :mod:`repro.service` as the graph component of result-cache keys.
+        ``==``.  Computed once and cached; the CSR arrays are frozen
+        read-only at construction, so the cached digest cannot go stale —
+        derived snapshots (:meth:`apply_batch`) are new ``Graph`` objects
+        with their own cache.  Used by :mod:`repro.service` as the graph
+        component of result-cache keys.
         """
         if self._fingerprint is None:
             import hashlib

@@ -76,6 +76,17 @@ class Executor(ABC):
     ) -> list[Any]:
         """Run ``fn(cluster, args)`` for each ``args``; payloads in order."""
 
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Apply a pure function to each item; results in input order.
+
+        Unlike :meth:`run_tasks`, ``fn`` takes the item alone and must not
+        touch cluster state — this is plain data parallelism (the streaming
+        layer's chunked CSR delta merges ride here).  The default runs
+        inline; pool-backed executors override it to fan out.  ``fn`` must
+        be a module-level function when a process backend may run it.
+        """
+        return [fn(item) for item in items]
+
     def close(self) -> None:
         """Release pools and shared memory (idempotent)."""
 
@@ -233,6 +244,19 @@ class ProcessExecutor(Executor):
         if first_error is not None:
             raise first_error
         return payloads
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Fan a pure function out over the process pool (order preserved)."""
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(fn, items))
+        except concurrent.futures.process.BrokenProcessPool as exc:
+            self._pool = None
+            raise WorkerCrashError(
+                "a map worker process died unexpectedly"
+            ) from exc
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -29,7 +29,12 @@ from repro.service.cache import (
     key_digest,
     remap_embeddings,
 )
-from repro.service.client import ServiceClient, ServiceError, connect
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    Subscription,
+    connect,
+)
 from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.service.scheduler import (
     AdmissionError,
@@ -54,6 +59,7 @@ __all__ = [
     "SchedulerClosed",
     "ServiceClient",
     "ServiceError",
+    "Subscription",
     "ServiceTimeout",
     "TenantLedger",
     "TenantQuota",

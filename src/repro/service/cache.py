@@ -232,6 +232,7 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        self.invalidations = 0
         # -- disk tier --------------------------------------------------
         self.disk_dir = None if disk_dir is None else Path(disk_dir)
         self.disk_capacity = disk_capacity
@@ -308,6 +309,25 @@ class ResultCache:
         """Drop every memory entry (counters and spilled files are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def evict_graph(self, fingerprint: str) -> int:
+        """Drop memory entries keyed to one graph fingerprint.
+
+        Version-targeted invalidation for the streaming ingest path:
+        cache keys lead with the graph fingerprint, so entries for a
+        superseded snapshot can never be served again — reclaim their
+        memory without flushing results for other graphs.  Spilled disk
+        files are left alone (harmless: lookups only reach the disk tier
+        through a full key, which no longer names this fingerprint).
+        Returns the number of entries dropped, counted as
+        ``invalidations``, not ``evictions``.
+        """
+        with self._lock:
+            dead = [k for k in self._entries if k[0] == fingerprint]
+            for key in dead:
+                del self._entries[key]
+            self.invalidations += len(dead)
+            return len(dead)
 
     # ------------------------------------------------------------------
     def _insert(self, key: tuple, entry: _Entry) -> None:
@@ -451,6 +471,7 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "expirations": self.expirations,
+                "invalidations": self.invalidations,
             }
             snapshot["disk"] = (
                 None

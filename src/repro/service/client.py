@@ -26,7 +26,7 @@ from repro.engines.base import RunResult
 from repro.query.explain import QueryExplanation
 from repro.service import protocol
 
-__all__ = ["ServiceClient", "ServiceError", "connect"]
+__all__ = ["ServiceClient", "ServiceError", "Subscription", "connect"]
 
 
 class ServiceError(RuntimeError):
@@ -63,6 +63,10 @@ class ServiceClient:
         self._next_id = 1
         #: Cache disposition of the most recent submit: hit/miss/dedup.
         self.last_cache: str | None = None
+        #: Pushed delta lines that arrived while waiting for a response
+        #: (push-mode watches share the connection); drained by
+        #: :class:`Subscription`.
+        self._pushed: list[dict[str, Any]] = []
         try:
             self.hello = protocol.read_message(self._rfile)
             if self.hello is None or self.hello.get("kind") != "hello":
@@ -90,11 +94,18 @@ class ServiceClient:
             {key: value for key, value in fields.items() if value is not None}
         )
         protocol.write_message(self._wfile, message)
-        response = protocol.read_message(self._rfile)
-        if response is None:
-            raise ServiceError(
-                f"server at {self.address} closed the connection"
-            )
+        while True:
+            response = protocol.read_message(self._rfile)
+            if response is None:
+                raise ServiceError(
+                    f"server at {self.address} closed the connection"
+                )
+            if "id" not in response and response.get("kind") == "delta":
+                # An unsolicited push-mode delta interleaved with this
+                # request's response: buffer it for the subscription.
+                self._pushed.append(response)
+                continue
+            break
         if "id" in response and response["id"] != request_id:
             # A stale response (e.g. from an earlier read that timed
             # out): the stream is desynchronized, so the connection is
@@ -171,6 +182,94 @@ class ServiceClient:
         """Ask the server to stop serving (it finishes in the background)."""
         self._call("shutdown")
 
+    # -- streaming / continuous queries --------------------------------
+    def register(
+        self,
+        query: str,
+        *,
+        tenant: "str | None" = None,
+        collect: bool | None = None,
+        push: bool = False,
+    ) -> dict[str, Any]:
+        """Register a continuous query; returns the watch info dict.
+
+        The ``"watch"`` key carries the id for :meth:`poll` /
+        :meth:`unregister`.  With ``push=True`` the server additionally
+        pushes every delta down *this* connection as it fires (see
+        :meth:`subscribe` for the iterator spelling).
+        """
+        response = self._call(
+            "register",
+            query=str(query),
+            tenant=tenant,
+            collect=collect,
+            push=push or None,
+        )
+        return response["result"]
+
+    def unregister(self, watch: str) -> bool:
+        """Remove a watch; False when the server no longer knows the id."""
+        return bool(
+            self._call("unregister", watch=str(watch))["result"]["known"]
+        )
+
+    def ingest(
+        self,
+        additions: "list[tuple[int, int]] | None" = None,
+        deletions: "list[tuple[int, int]] | None" = None,
+    ) -> dict[str, Any]:
+        """Apply one edge batch on the server; returns the ingest report.
+
+        The report carries the new ``version``/``fingerprint`` and a
+        per-watch outcome map.  Invalid batches (edge already present,
+        edge missing, overlap, endpoint out of range) raise
+        :class:`ServiceError` naming the offending edge.
+        """
+        response = self._call(
+            "ingest",
+            additions=(
+                None if additions is None
+                else [[int(u), int(v)] for u, v in additions]
+            ),
+            deletions=(
+                None if deletions is None
+                else [[int(u), int(v)] for u, v in deletions]
+            ),
+        )
+        return response["result"]
+
+    def poll(self, watch: str, *, wait: float | None = None):
+        """Drain a watch's pending deltas as :class:`DeltaRecord` objects.
+
+        ``wait`` blocks up to that many seconds for the first record
+        (bound it below the client's socket timeout).
+        """
+        from repro.streaming.records import DeltaRecord
+
+        result = self._call("poll", watch=str(watch), wait=wait)["result"]
+        return [DeltaRecord.from_dict(data) for data in result["deltas"]]
+
+    def subscribe(
+        self,
+        query: str,
+        *,
+        tenant: "str | None" = None,
+        collect: bool | None = None,
+    ) -> "Subscription":
+        """Register with push mode and iterate deltas as they fire::
+
+            with connect(addr) as client:
+                for record in client.subscribe("a-b, b-c, c-a"):
+                    alert(record.added_count)
+
+        The iterator blocks on the connection (bounded by the client's
+        socket timeout); ``Subscription.close()`` unregisters the watch.
+        """
+        info = self.register(
+            query, tenant=tenant, collect=collect, push=True
+        )
+        return Subscription(self, info)
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -189,3 +288,66 @@ class ServiceClient:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         host, port = self.address
         return f"ServiceClient({host}:{port})"
+
+
+class Subscription:
+    """Iterator over one push-mode watch's delta stream.
+
+    Yields :class:`~repro.streaming.records.DeltaRecord` objects in
+    ingest order.  Deltas buffered while other calls were in flight are
+    drained first; then the iterator blocks reading the connection.  The
+    stream ends (``StopIteration``) when the server closes the
+    connection; a socket timeout propagates as-is so callers can poll.
+    """
+
+    def __init__(self, client: ServiceClient, info: dict[str, Any]):
+        self.client = client
+        self.info = info
+        self.watch = info["watch"]
+        self._closed = False
+
+    def __iter__(self) -> "Subscription":
+        return self
+
+    def __next__(self):
+        from repro.streaming.records import DeltaRecord
+
+        if self._closed:
+            raise StopIteration
+        while True:
+            for i, message in enumerate(self.client._pushed):
+                if message.get("watch") == self.watch:
+                    del self.client._pushed[i]
+                    return DeltaRecord.from_dict(message["result"])
+            message = protocol.read_message(self.client._rfile)
+            if message is None:
+                raise StopIteration
+            if "id" not in message and message.get("kind") == "delta":
+                self.client._pushed.append(message)
+                continue
+            # A response line with an id here means someone interleaved
+            # a request on this connection while iterating — the client
+            # is documented single-threaded, treat it as desync.
+            self.client.close()
+            raise ServiceError(
+                "unexpected response while subscribed; one client drives "
+                "one connection — use a separate client for requests"
+            )
+
+    def close(self) -> None:
+        """Unregister the watch (idempotent; the connection stays open)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self.client.unregister(self.watch)
+            except (ServiceError, OSError):
+                # OSError covers a timed-out or torn-down socket: the
+                # server reaps the watch's push sink when the connection
+                # drops, so a failed goodbye is not a leak.
+                pass
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

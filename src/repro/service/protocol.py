@@ -27,6 +27,26 @@ removes) a shard worker in the server's elastic roster; ``metrics``
 returns structured service counters (queue depth, per-tenant usage,
 cache tiers, shard roster health).
 
+Streaming / continuous-query requests::
+
+    {"op": "register",  "id": 9, "query": "a-b, b-c, c-a",
+     "tenant": null, "collect": true, "push": false}
+    {"op": "unregister","id": 10, "watch": "w1"}
+    {"op": "ingest",    "id": 11, "additions": [[0, 5], [2, 7]],
+     "deletions": [[1, 3]]}
+    {"op": "poll",      "id": 12, "watch": "w1", "wait": 5.0}
+
+``register`` installs a continuous query and returns its watch id;
+``ingest`` applies one edge batch (additions and deletions, validated
+strictly — no duplicates, no overlap) producing a new graph version, and
+every watch's delta embeddings for the batch; ``poll`` drains a watch's
+pending :class:`~repro.streaming.records.DeltaRecord` payloads.  With
+``"push": true`` at register time the server *pushes* each delta down
+this connection as an unsolicited line (no ``id``)::
+
+    {"kind": "delta", "ok": true, "watch": "w1",
+     "result": {... DeltaRecord.to_dict() ...}}
+
 Responses (server -> client) echo ``id`` and carry ``ok``::
 
     {"id": 1, "ok": true, "kind": "result", "cache": "hit"|"miss"|"dedup",
@@ -35,11 +55,15 @@ Responses (server -> client) echo ``id`` and carry ``ok``::
     {"id": 3, "ok": true, "kind": "stats", "result": {...}}
     {"id": 4, "ok": true, "kind": "pong", "result": {"version": 1}}
     {"id": 5, "ok": true, "kind": "bye", "result": null}
+    {"id": 9, "ok": true, "kind": "registered", "result": {"watch": "w1", ...}}
+    {"id": 11, "ok": true, "kind": "ingested", "result": {"version": 2, ...}}
+    {"id": 12, "ok": true, "kind": "deltas", "result": {"deltas": [...], ...}}
     {"id": n, "ok": false, "error": "human-readable message"}
 
 On connect the server sends one unsolicited hello line
 (``{"kind": "hello", "version": 1, "graph": <fingerprint>, ...}``) so
-clients can fail fast on protocol or graph mismatches.
+clients can fail fast on protocol or graph mismatches; the hello also
+carries ``graph_version``, which advances as batches are ingested.
 """
 
 from __future__ import annotations
@@ -51,7 +75,19 @@ from typing import Any, BinaryIO
 PROTOCOL_VERSION = 1
 
 #: Operations the server dispatches on.
-OPS = ("submit", "explain", "stats", "ping", "shutdown", "announce", "metrics")
+OPS = (
+    "submit",
+    "explain",
+    "stats",
+    "ping",
+    "shutdown",
+    "announce",
+    "metrics",
+    "register",
+    "unregister",
+    "ingest",
+    "poll",
+)
 
 
 class ProtocolError(RuntimeError):

@@ -199,16 +199,37 @@ class QueryTicket:
 
 
 class _Execution:
-    """One unit of queue work: a primary request plus dedup followers."""
+    """One unit of queue work: a primary request plus dedup followers.
 
-    def __init__(self, key: tuple, ticket: QueryTicket, cost: int):
+    ``graph``/``partition`` pin the snapshot the execution runs against:
+    they are captured at submit time, so a :meth:`QueryScheduler.rebind_graph`
+    between submission and execution cannot mix versions — the cache key
+    (which leads with the pinned graph's fingerprint) and the data the
+    engine reads always describe the same snapshot.  ``job`` carries an
+    opaque callable instead of a query (see
+    :meth:`QueryScheduler.submit_job`).
+    """
+
+    def __init__(
+        self,
+        key: tuple,
+        ticket: QueryTicket,
+        cost: int,
+        *,
+        graph: "Graph | None" = None,
+        partition: Any = None,
+        job: "Callable[[], Any] | None" = None,
+    ):
         self.key = key
         self.engine = ticket.engine
         self.cost = cost
+        self.graph = graph
+        self.partition = partition
+        self.job = job
         self.requests: list[QueryTicket] = [ticket]
         #: The pattern actually enumerated (the primary's spelling).
         self.pattern = ticket.pattern
-        self.collect = key[-1]
+        self.collect = False if job is not None else key[-1]
         #: The tenant whose budget/fair share the execution runs under
         #: (the primary's; dedup riders from other tenants ride free).
         self.tenant = ticket.tenant
@@ -469,8 +490,13 @@ class QueryScheduler:
             limit=limit,
             tenant=tenant,
         )
+        # Pin the snapshot this submission runs against: the cache key
+        # below and the execution's graph/partition must describe the
+        # same version even if rebind_graph swaps mid-submit.
+        with self._cond:
+            graph, partition = self.graph, self._partition
         key = cache_key(
-            self.graph,
+            graph,
             pattern,
             engine_name,
             self.config,
@@ -515,7 +541,9 @@ class QueryScheduler:
                     self._cond.notify()
                 self._arm_timer(ticket, timeout)
                 return ticket
-            execution = _Execution(key, ticket, cost)
+            execution = _Execution(
+                key, ticket, cost, graph=graph, partition=partition
+            )
             self._inflight[key] = execution
             heapq.heappush(
                 self._heap, (-priority, next(self._seq), execution)
@@ -561,6 +589,80 @@ class QueryScheduler:
     ) -> RunResult:
         """Submit and wait — the blocking convenience spelling."""
         return self.submit(query, engine, **submit_kwargs).result()
+
+    def submit_job(
+        self,
+        fn: Callable[[], Any],
+        *,
+        priority: int = 0,
+        tenant: "str | None" = None,
+        description: str = "job",
+    ) -> QueryTicket:
+        """Run an opaque callable on the worker pool; returns a ticket.
+
+        The serving features that make sense for non-query work apply:
+        tenant token-bucket admission (:class:`QuotaExceeded` at submit),
+        priority ordering against queued queries, and the shared stats
+        counters.  There is no caching, deduplication or admission cost —
+        jobs are assumed light relative to queries (the streaming layer's
+        per-batch delta computations ride here).  ``ticket.result()``
+        returns whatever ``fn`` returned.
+        """
+        if not callable(fn):
+            raise TypeError(f"fn must be callable, got {fn!r}")
+        if tenant is not None and (
+            not isinstance(tenant, str) or not tenant
+        ):
+            raise ValueError(
+                f"tenant must be a non-empty string or None, got {tenant!r}"
+            )
+        try:
+            self._tenants.admit(tenant)
+        except QuotaExceeded:
+            with self._cond:
+                self._stats["quota_rejected"] += 1
+            raise
+        ticket = QueryTicket(
+            Pattern(1, [], name=description),
+            "job",
+            priority=priority,
+            deadline=None,
+            limit=None,
+            tenant=tenant,
+        )
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosed("scheduler is closed")
+            self._stats["submitted"] += 1
+            self._tenants.note(tenant, "submitted")
+            key = ("job", next(self._seq))
+            execution = _Execution(key, ticket, 0, job=fn)
+            self._inflight[key] = execution
+            heapq.heappush(
+                self._heap, (-priority, next(self._seq), execution)
+            )
+            self._cond.notify()
+        return ticket
+
+    def rebind_graph(self, graph: "Graph", *, partition: Any = None) -> None:
+        """Serve subsequent submissions against a new graph snapshot.
+
+        The streaming ingest path calls this after every applied batch.
+        In-flight and queued executions keep the snapshot they were
+        submitted against (each execution pins graph + partition at
+        submit time, and its cache key leads with that snapshot's
+        fingerprint), so a rebind never mixes versions — entries cached
+        under the old fingerprint simply become unreachable rather than
+        being flushed (reclaim their memory with
+        :meth:`ResultCache.evict_graph` if desired).
+        """
+        if partition is None:
+            partition = self.config.make_partition(graph)
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosed("scheduler is closed")
+            self.graph = graph
+            self._partition = partition
 
     # ------------------------------------------------------------------
     # Worker side
@@ -707,9 +809,12 @@ class QueryScheduler:
     def _execute(
         self,
         execution: _Execution,
-        engines: dict[str, Any],
+        engines: dict[Any, Any],
         holder: list[Any],
     ) -> None:
+        if execution.job is not None:
+            self._execute_job(execution)
+            return
         try:
             # Construction is inside the guard too: a failing engine
             # factory, executor (dead shard roster) or partition/cluster
@@ -720,14 +825,22 @@ class QueryScheduler:
                     registry=self.shard_registry
                 )
             executor = holder[0]
-            engine = engines.get(execution.engine)
+            # Engines hold a graph reference, so the per-worker cache is
+            # keyed by (engine, snapshot fingerprint) — a rebind must not
+            # serve a new version through an engine built over the old
+            # one.  key[0] is the pinned snapshot's fingerprint.  Bounded:
+            # a long ingest history must not pin every old graph alive.
+            engine_key = (execution.engine, execution.key[0])
+            engine = engines.get(engine_key)
             if engine is None:
+                if len(engines) >= 8:
+                    engines.clear()
                 engine = self.registry.create(
-                    execution.engine, graph=self.graph
+                    execution.engine, graph=execution.graph
                 )
-                engines[execution.engine] = engine
+                engines[engine_key] = engine
             cluster = self.config.make_cluster(
-                self.graph, partition=self._partition
+                execution.graph, partition=execution.partition
             )
             raw = engine.run(
                 cluster,
@@ -798,6 +911,33 @@ class QueryScheduler:
             if ticket._deliver(
                 lambda t=ticket: self._serve_copy(raw, execution.pattern, t)
             ):
+                delivered += 1
+                self._tenants.note(ticket.tenant, "completed")
+        with self._cond:
+            self._stats["completed"] += delivered
+
+    def _execute_job(self, execution: _Execution) -> None:
+        """Run an opaque job on this worker; deliver its return value."""
+        try:
+            value = execution.job()
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiter
+            with self._cond:
+                self._inflight.pop(execution.key, None)
+                requests = list(execution.requests)
+            failed = 0
+            for ticket in requests:
+                if ticket._fail(exc):
+                    failed += 1
+                    self._tenants.note(ticket.tenant, "failed")
+            with self._cond:
+                self._stats["failed"] += failed
+            return
+        with self._cond:
+            self._inflight.pop(execution.key, None)
+            requests = list(execution.requests)
+        delivered = 0
+        for ticket in requests:
+            if ticket._deliver(lambda value=value: value):
                 delivered += 1
                 self._tenants.note(ticket.tenant, "completed")
         with self._cond:

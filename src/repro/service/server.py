@@ -12,9 +12,10 @@ Entry points::
     server = repro.Session(graph).serve(port=0)        # API front door
     python -m repro serve --graph g.npz --port 7463    # CLI
 
-With ``log_path`` every served result/explanation record is appended to a
-JSONL request log (via :func:`repro.api.results.append_record_jsonl`),
-replayable with :func:`repro.api.results.read_records_jsonl`.
+With ``log_path`` every served result/explanation record — and every
+delivered streaming delta record — is appended to a JSONL request log
+(via :func:`repro.api.results.append_record_jsonl`), replayable with
+:func:`repro.api.results.read_records_jsonl`.
 
 This transport is deliberately minimal — newline-framed JSON over TCP —
 because it is also the first cut of the socket layer the ROADMAP's
@@ -53,34 +54,48 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
         front = self.server.front
+        # Responses and pushed delta lines share this connection; the
+        # lock keeps their JSON-lines framing from interleaving.
+        write_lock = threading.Lock()
+
+        def send(message: dict) -> None:
+            with write_lock:
+                protocol.write_message(self.wfile, message)
+
+        #: Watch ids whose push sink is this connection (detached on EOF).
+        attached: list[str] = []
         try:
-            protocol.write_message(self.wfile, front._hello())
-        except OSError:
-            # e.g. a readiness probe that connected and hung up.
-            return
-        while True:
             try:
-                message = protocol.read_message(self.rfile)
-            except (protocol.ProtocolError, OSError) as exc:
-                try:
-                    protocol.write_message(
-                        self.wfile, protocol.error_response(None, str(exc))
-                    )
-                except OSError:
-                    pass
-                return
-            if message is None:
-                return
-            if not message:  # blank keep-alive line
-                continue
-            response = front._dispatch(message)
-            try:
-                protocol.write_message(self.wfile, response)
+                send(front._hello())
             except OSError:
+                # e.g. a readiness probe that connected and hung up.
                 return
-            if response.get("kind") == "bye":
-                front._request_shutdown()
-                return
+            while True:
+                try:
+                    message = protocol.read_message(self.rfile)
+                except (protocol.ProtocolError, OSError) as exc:
+                    try:
+                        send(protocol.error_response(None, str(exc)))
+                    except OSError:
+                        pass
+                    return
+                if message is None:
+                    return
+                if not message:  # blank keep-alive line
+                    continue
+                response = front._dispatch(
+                    message, push=send, attached=attached
+                )
+                try:
+                    send(response)
+                except OSError:
+                    return
+                if response.get("kind") == "bye":
+                    front._request_shutdown()
+                    return
+        finally:
+            for watch_id in attached:
+                front.streams.detach_push(watch_id)
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -116,6 +131,7 @@ class QueryServer:
         tenants: "Mapping[str, TenantQuota] | None" = None,
         default_quota: "TenantQuota | None" = None,
         shard_registry: "ShardRegistry | None" = None,
+        verify_deltas: bool = False,
     ):
         self.graph = graph
         self.config = config or RunConfig()
@@ -156,6 +172,18 @@ class QueryServer:
         except BaseException:
             self._tcp.server_close()
             raise
+        # Continuous queries + streaming ingest ride the scheduler's
+        # worker pool; each applied batch rebinds the scheduler (and
+        # reclaims the superseded version's cache entries) via _on_rebind.
+        from repro.streaming import ContinuousQueryManager
+
+        self.streams = ContinuousQueryManager(
+            graph,
+            scheduler=self.scheduler,
+            verify=verify_deltas,
+            on_rebind=self._on_rebind,
+            on_record=lambda record: self._log_record(record.to_dict()),
+        )
         self._log_path = log_path
         self._log_lock = threading.Lock()
         self._explain_engines: dict[str, Any] = {}
@@ -228,18 +256,43 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Protocol dispatch (one call per request line)
     # ------------------------------------------------------------------
+    def _on_rebind(self, old: Any, new: Any) -> None:
+        """Swap the serving layer over to a freshly ingested version.
+
+        In-flight queries keep their pinned snapshot (scheduler
+        executions capture graph + partition at submit); everything that
+        serves *new* requests — the scheduler's graph, the explain-engine
+        cache, the hello/metrics fingerprints — moves to the new version,
+        and the superseded version's now-unreachable result-cache entries
+        are reclaimed by fingerprint.
+        """
+        self.scheduler.rebind_graph(new.graph)
+        self.graph = new.graph
+        with self._explain_lock:
+            self._explain_engines.clear()
+        if self.scheduler.cache is not None:
+            self.scheduler.cache.evict_graph(old.fingerprint)
+
     def _hello(self) -> dict[str, Any]:
+        current = self.streams.current
         return {
             "kind": "hello",
             "ok": True,
             "version": protocol.PROTOCOL_VERSION,
-            "graph": self.graph.fingerprint(),
-            "num_vertices": self.graph.num_vertices,
-            "num_edges": self.graph.num_edges,
+            "graph": current.fingerprint,
+            "graph_version": current.version,
+            "num_vertices": current.graph.num_vertices,
+            "num_edges": current.graph.num_edges,
             "engines": self.registry.names(),
         }
 
-    def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+    def _dispatch(
+        self,
+        message: dict[str, Any],
+        *,
+        push: Any = None,
+        attached: "list[str] | None" = None,
+    ) -> dict[str, Any]:
         request_id = message.get("id")
         op = message.get("op")
         try:
@@ -265,6 +318,14 @@ class QueryServer:
                 return protocol.ok_response(
                     request_id, "metrics", self._metrics()
                 )
+            if op == "register":
+                return self._op_register(request_id, message, push, attached)
+            if op == "unregister":
+                return self._op_unregister(request_id, message)
+            if op == "ingest":
+                return self._op_ingest(request_id, message)
+            if op == "poll":
+                return self._op_poll(request_id, message)
             return protocol.error_response(
                 request_id,
                 f"unknown op {op!r}; expected one of "
@@ -465,18 +526,184 @@ class QueryServer:
             },
         )
 
+    # -- streaming / continuous queries --------------------------------
+    def _op_register(
+        self,
+        request_id: Any,
+        message: dict[str, Any],
+        push: Any,
+        attached: "list[str] | None",
+    ) -> dict[str, Any]:
+        query = message.get("query")
+        if not isinstance(query, str) or not query:
+            return protocol.error_response(
+                request_id, "register needs a 'query' (name or pattern DSL)"
+            )
+        tenant = message.get("tenant")
+        if tenant is not None and (
+            not isinstance(tenant, str) or not tenant
+        ):
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "tenant", "a non-empty tenant name string", tenant
+                ),
+            )
+        collect = message.get("collect")
+        if collect is not None and not isinstance(collect, bool):
+            return protocol.error_response(
+                request_id, self._bad_field("collect", "a boolean", collect)
+            )
+        wants_push = message.get("push")
+        if wants_push is not None and not isinstance(wants_push, bool):
+            return protocol.error_response(
+                request_id, self._bad_field("push", "a boolean", wants_push)
+            )
+        watch = self.streams.register(
+            query,
+            tenant=tenant,
+            collect=True if collect is None else collect,
+        )
+        if wants_push and push is not None:
+            self.streams.attach_push(
+                watch.id,
+                lambda record, send=push, watch_id=watch.id: send({
+                    "kind": "delta",
+                    "ok": True,
+                    "watch": watch_id,
+                    "result": record.to_dict(),
+                }),
+            )
+            if attached is not None:
+                attached.append(watch.id)
+        current = self.streams.current
+        return protocol.ok_response(
+            request_id,
+            "registered",
+            {
+                "watch": watch.id,
+                "pattern": watch.pattern.name,
+                "version": current.version,
+                "fingerprint": current.fingerprint,
+                "push": bool(wants_push and push is not None),
+            },
+        )
+
+    def _op_unregister(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        watch_id = message.get("watch")
+        if not isinstance(watch_id, str) or not watch_id:
+            return protocol.error_response(
+                request_id,
+                self._bad_field("watch", "a watch id string", watch_id),
+            )
+        known = self.streams.unregister(watch_id)
+        return protocol.ok_response(
+            request_id, "unregistered", {"watch": watch_id, "known": known}
+        )
+
+    @staticmethod
+    def _edge_batch(value: Any, name: str) -> "list[tuple[int, int]] | str":
+        """Parse one ingest edge list; an error string when malformed."""
+        if value is None:
+            return []
+        if not isinstance(value, (list, tuple)):
+            return QueryServer._bad_field(
+                name, "a list of [u, v] vertex pairs", value
+            )
+        edges = []
+        for item in value:
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 2
+                or not all(
+                    isinstance(x, int) and not isinstance(x, bool)
+                    for x in item
+                )
+            ):
+                return QueryServer._bad_field(
+                    name, "a list of [u, v] vertex pairs", item
+                )
+            edges.append((int(item[0]), int(item[1])))
+        return edges
+
+    def _op_ingest(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        additions = self._edge_batch(message.get("additions"), "additions")
+        if isinstance(additions, str):
+            return protocol.error_response(request_id, additions)
+        deletions = self._edge_batch(message.get("deletions"), "deletions")
+        if isinstance(deletions, str):
+            return protocol.error_response(request_id, deletions)
+        if not additions and not deletions:
+            return protocol.error_response(
+                request_id,
+                "ingest needs 'additions' and/or 'deletions' edge lists",
+            )
+        try:
+            report = self.streams.ingest(additions, deletions)
+        except ValueError as exc:
+            # Batch validation: names the offending field/edge.
+            return protocol.error_response(
+                request_id, f"invalid ingest batch: {exc}"
+            )
+        return protocol.ok_response(request_id, "ingested", report)
+
+    def _op_poll(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        watch_id = message.get("watch")
+        if not isinstance(watch_id, str) or not watch_id:
+            return protocol.error_response(
+                request_id,
+                self._bad_field("watch", "a watch id string", watch_id),
+            )
+        wait = message.get("wait")
+        if wait is not None and (
+            not isinstance(wait, (int, float))
+            or isinstance(wait, bool)
+            or wait <= 0
+        ):
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "wait", "a positive number of seconds", wait
+                ),
+            )
+        try:
+            watch = self.streams.get(watch_id)
+        except KeyError:
+            return protocol.error_response(
+                request_id, f"unknown 'watch' id {watch_id!r}"
+            )
+        records = watch.poll(wait=wait)
+        return protocol.ok_response(
+            request_id,
+            "deltas",
+            {
+                "watch": watch_id,
+                "deltas": [record.to_dict() for record in records],
+                "dropped": watch.dropped,
+            },
+        )
+
     def _metrics(self) -> dict[str, Any]:
         """Structured service counters for the ``metrics`` op."""
         scheduler = self.scheduler.stats()
         cache = scheduler.pop("cache", None)
         tenants = scheduler.pop("tenants", {})
+        current = self.streams.current
         return {
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "protocol_version": protocol.PROTOCOL_VERSION,
-            "graph": self.graph.fingerprint(),
+            "graph": current.fingerprint,
+            "graph_version": current.version,
             "scheduler": scheduler,
             "cache": cache,
             "tenants": tenants,
+            "streaming": self.streams.stats(),
             "shards": {
                 "configured": list(self.config.shards or ()),
                 "registry": self.shard_registry.snapshot(),

@@ -1,0 +1,175 @@
+"""ShardRegistry edge cases: rejoin, staleness resurrection, bad input.
+
+Satellite coverage for the elastic-roster membership book
+(:mod:`repro.distributed.registry`): the withdraw-then-reannounce cycle a
+politely drained worker goes through when it is brought back on the same
+address, a stale entry resurrecting between two coordinator batches, and
+the server-side validation of garbage ``announce`` addresses (the error
+must name the field so operators can fix the right flag).
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.api import RunConfig
+from repro.distributed import ShardRegistry
+from repro.graph import erdos_renyi
+from repro.service import QueryServer, protocol
+
+
+@pytest.fixture()
+def clock():
+    """A hand-cranked monotonic clock (list cell so tests can advance it)."""
+
+    class Clock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    return Clock()
+
+
+# ----------------------------------------------------------------------
+# Withdraw then re-announce on the same address
+# ----------------------------------------------------------------------
+class TestWithdrawThenReannounce:
+    def test_reannounce_same_address_is_a_fresh_entry(self, clock):
+        registry = ShardRegistry(clock=clock)
+        registry.announce("127.0.0.1:9001", graphs=["f1"], workers=4)
+        registry.announce("127.0.0.1:9001")
+        assert registry.announces("127.0.0.1:9001") == 2
+        v_before = registry.version()
+
+        assert registry.withdraw("127.0.0.1:9001") is True
+        assert registry.version() == v_before + 1
+        assert registry.addresses() == []
+        # The book forgot the worker entirely: no ghost announce count.
+        assert registry.announces("127.0.0.1:9001") == 0
+
+        # The same address comes back (a replacement process, or the
+        # same one restarted): membership edit, counters start over.
+        v_back = registry.announce("127.0.0.1:9001", graphs=["f2"])
+        assert v_back == v_before + 2
+        assert registry.addresses() == ["127.0.0.1:9001"]
+        assert registry.announces("127.0.0.1:9001") == 1
+        [entry] = registry.snapshot()
+        assert entry["graphs"] == ["f2"]
+        assert entry["stale"] is False
+
+    def test_withdraw_unknown_address_is_not_an_edit(self):
+        registry = ShardRegistry()
+        v = registry.version()
+        assert registry.withdraw("127.0.0.1:9009") is False
+        assert registry.version() == v
+
+    def test_address_spellings_hit_one_entry(self, clock):
+        registry = ShardRegistry(clock=clock)
+        v1 = registry.announce(("127.0.0.1", 9001))
+        # Tuple, string and canonical spellings are the same worker.
+        assert registry.announce("127.0.0.1:9001") == v1
+        assert registry.announces("127.0.0.1:9001") == 2
+        assert registry.withdraw(("127.0.0.1", 9001)) is True
+        assert registry.addresses() == []
+
+
+# ----------------------------------------------------------------------
+# Stale entry resurrecting mid-batch
+# ----------------------------------------------------------------------
+class TestStaleResurrection:
+    def test_stale_entry_resurrects_without_a_membership_edit(self, clock):
+        registry = ShardRegistry(stale_after=45.0, clock=clock)
+        registry.announce("127.0.0.1:9001")
+        assert registry.addresses() == ["127.0.0.1:9001"]
+        version = registry.version()
+
+        # Silence past the horizon: the worker stops being offered to
+        # coordinators but stays visible (flagged) for operators.
+        clock.now = 45.0
+        assert registry.addresses() == []
+        assert len(registry) == 0
+        [entry] = registry.snapshot()
+        assert entry["stale"] is True
+        # Staleness is a view-time judgement, not an edit: pollers that
+        # gate reconciliation on version() must not see a change...
+        assert registry.version() == version
+
+        # ...which is exactly why the rejoin signal is the announce
+        # *count*: when the silent worker speaks again mid-batch, the
+        # count advances even though the membership version does not.
+        clock.now = 46.0
+        assert registry.announce("127.0.0.1:9001") == version
+        assert registry.addresses() == ["127.0.0.1:9001"]
+        assert registry.announces("127.0.0.1:9001") == 2
+        [entry] = registry.snapshot()
+        assert entry["stale"] is False
+        assert entry["age_seconds"] == 0.0
+
+    def test_resurrected_entry_keeps_its_first_seen_history(self, clock):
+        registry = ShardRegistry(stale_after=10.0, clock=clock)
+        registry.announce("127.0.0.1:9001")
+        clock.now = 30.0
+        registry.announce("127.0.0.1:9001")
+        # Not withdrawn in between: one continuous entry, two announces.
+        assert registry.announces("127.0.0.1:9001") == 2
+
+    def test_stale_after_none_never_expires(self, clock):
+        registry = ShardRegistry(stale_after=None, clock=clock)
+        registry.announce("127.0.0.1:9001")
+        clock.now = 1e9
+        assert registry.addresses() == ["127.0.0.1:9001"]
+
+    def test_stale_after_must_be_positive(self):
+        with pytest.raises(ValueError, match="stale_after"):
+            ShardRegistry(stale_after=0.0)
+
+
+# ----------------------------------------------------------------------
+# Garbage announce addresses through the server op
+# ----------------------------------------------------------------------
+class TestAnnounceValidation:
+    @pytest.fixture()
+    def server(self):
+        graph = erdos_renyi(40, 0.1, seed=3)
+        with QueryServer(graph, RunConfig(machines=2), threads=1) as server:
+            yield server
+
+    @pytest.mark.parametrize(
+        "address",
+        [
+            "127.0.0.1:not-a-port",
+            "127.0.0.1:",
+            "host:12x",
+            None,
+            42,
+            "",
+        ],
+    )
+    def test_garbage_port_error_names_the_address_field(
+        self, server, address
+    ):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            stream = sock.makefile("rwb")
+            protocol.read_message(stream)  # hello
+            protocol.write_message(
+                stream, {"op": "announce", "id": 1, "address": address}
+            )
+            response = protocol.read_message(stream)
+            assert response["ok"] is False
+            assert "'address'" in response["error"]
+            # The connection survives a rejected announce.
+            protocol.write_message(stream, {"op": "ping", "id": 2})
+            assert protocol.read_message(stream)["kind"] == "pong"
+        # Nothing garbage landed in the book.
+        assert len(server.shard_registry) == 0
+
+    def test_registry_itself_rejects_unparseable_addresses(self):
+        registry = ShardRegistry()
+        with pytest.raises(ValueError, match="address"):
+            registry.announce("no-port-here:xx")
+        with pytest.raises(ValueError, match="address"):
+            registry.withdraw("no-port-here:xx")
