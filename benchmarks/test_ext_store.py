@@ -1,0 +1,113 @@
+"""Extension benchmark: indexed store reads vs full decompression.
+
+The embedding store answers ``page`` and ``lookup`` from order-based
+indexes over the trie columns — a page is a contiguous slice of the
+sorted leaf order, a lookup a union of per-level posting ranges.  The
+naive alternative decompresses the whole stored set per read and slices
+or filters it in Python.  This benchmark tables queries/sec for both,
+at three result-set sizes, plus the compression the columns achieve
+over the flat embedding list.
+
+The point of the table is the scaling: indexed reads stay roughly flat
+as the stored set grows, full decompression degrades linearly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import run_once
+
+import repro
+from repro.core.embedding_trie import embedding_list_bytes
+from repro.graph import powerlaw_cluster
+from repro.store import TrieColumns
+
+#: Graph sizes giving three well-separated stored-set sizes for QUERY.
+GRAPH_SIZES = (200, 800, 2400)
+QUERY = "q1"
+PAGE_LIMIT = 100
+READS = 60
+
+
+def _stored_columns(num_vertices: int) -> TrieColumns:
+    graph = powerlaw_cluster(num_vertices, edges_per_vertex=4, seed=11)
+    pattern = repro.resolve_query(QUERY)
+    result = (
+        repro.open(graph).with_cluster(machines=4)
+        .engine("rads").query(QUERY).run(collect=True)
+    )
+    return TrieColumns.from_embeddings(
+        result.embeddings, pattern.num_vertices
+    )
+
+
+def _throughput(fn, reads) -> float:
+    start = time.perf_counter()
+    for request in reads:
+        fn(request)
+    return len(reads) / (time.perf_counter() - start)
+
+
+def _measure(columns: TrieColumns) -> dict:
+    rng = random.Random(7)
+    total = columns.leaf_count
+    offsets = [rng.randrange(max(1, total - PAGE_LIMIT)) for _ in range(READS)]
+    vertices = [row[0] for row in columns.decompress_range(0, READS)]
+
+    page_indexed = _throughput(
+        lambda off: columns.decompress_range(off, PAGE_LIMIT), offsets
+    )
+    page_full = _throughput(
+        lambda off: columns.decompress_all()[off:off + PAGE_LIMIT], offsets
+    )
+    lookup_indexed = _throughput(columns.lookup, vertices)
+    lookup_full = _throughput(
+        lambda v: [e for e in columns.decompress_all() if v in e], vertices
+    )
+    return {
+        "total": total,
+        "page_indexed": page_indexed,
+        "page_full": page_full,
+        "lookup_indexed": lookup_indexed,
+        "lookup_full": lookup_full,
+        "trie_bytes": columns.memory_bytes(),
+        "list_bytes": embedding_list_bytes(total, columns.depth),
+    }
+
+
+def test_store_read_throughput(benchmark, report):
+    def experiment():
+        return [
+            (n, _measure(_stored_columns(n))) for n in GRAPH_SIZES
+        ]
+
+    rows = run_once(benchmark, experiment)
+
+    lines = [
+        f"Indexed store reads vs full decompression — query {QUERY}, "
+        f"{READS} reads each, pages of {PAGE_LIMIT}",
+        f"{'|V|':>5} {'stored':>8} {'page idx':>10} {'page full':>10} "
+        f"{'speedup':>8} {'look idx':>10} {'look full':>10} "
+        f"{'speedup':>8} {'compress':>9}",
+    ]
+    for n, m in rows:
+        lines.append(
+            f"{n:>5} {m['total']:>8} {m['page_indexed']:>8.0f}/s "
+            f"{m['page_full']:>8.0f}/s "
+            f"{m['page_indexed'] / m['page_full']:>7.1f}x "
+            f"{m['lookup_indexed']:>8.0f}/s {m['lookup_full']:>8.0f}/s "
+            f"{m['lookup_indexed'] / m['lookup_full']:>7.1f}x "
+            f"{m['list_bytes'] / m['trie_bytes']:>8.2f}x"
+        )
+    report("ext_store_reads", "\n".join(lines))
+
+    # The sizes must actually be well separated...
+    totals = [m["total"] for _, m in rows]
+    assert totals == sorted(totals) and totals[-1] > 3 * totals[0]
+    # ...and on the largest set the indexes must beat per-read full
+    # decompression for both read shapes.
+    _, largest = rows[-1]
+    assert largest["page_indexed"] > largest["page_full"]
+    assert largest["lookup_indexed"] > largest["lookup_full"]

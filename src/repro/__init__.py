@@ -71,6 +71,10 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "ServiceTimeout": ("repro.service.scheduler", "ServiceTimeout"),
     "AdmissionError": ("repro.service.scheduler", "AdmissionError"),
     "Subscription": ("repro.service.client", "Subscription"),
+    # -- the persistent embedding store --------------------------------
+    "EmbeddingStore": ("repro.store", "EmbeddingStore"),
+    "TrieColumns": ("repro.store", "TrieColumns"),
+    "pattern_orbits": ("repro.store", "pattern_orbits"),
     # -- streaming ingest + continuous queries -------------------------
     "ContinuousQueryManager": (
         "repro.streaming.continuous", "ContinuousQueryManager"

@@ -37,6 +37,7 @@ from repro.api.registry import (
     register_engine,
 )
 from repro.api.results import (
+    STORE_READ_KINDS,
     append_record_jsonl,
     grid_results,
     read_records_jsonl,
@@ -77,6 +78,7 @@ __all__ = [
     "QueryExplanation",
     "RunConfig",
     "RunResult",
+    "STORE_READ_KINDS",
     "Session",
     "UnknownEngineError",
     "UnknownQueryError",

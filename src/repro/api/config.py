@@ -33,8 +33,29 @@ PARTITIONER_NAMES = ("metis", "hash", "labelprop")
 BACKEND_NAMES = ("auto", "serial", "process", "socket")
 
 
+#: Legal values of the tri-state ``collect`` result mode.
+COLLECT_MODES = (False, True, "store")
+
+
 class ConfigError(ValueError):
     """A RunConfig field failed validation."""
+
+
+def normalize_collect(value: Any, *, field: str = "collect") -> "bool | str":
+    """Validate the tri-state result mode: ``False``/``True``/``"store"``.
+
+    Truthy non-bools (``collect=1``) are rejected rather than coerced —
+    silently treating them as ``True`` used to mask caller bugs, and
+    ``"store"`` must stay distinguishable from plain truthiness.
+    ``field`` names the offending field in the :class:`ConfigError`.
+    """
+    if value is True or value is False:
+        return value
+    if value == "store":
+        return "store"
+    raise ConfigError(
+        f"{field} must be True, False or 'store', got {value!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -58,7 +79,11 @@ class RunConfig:
       (``"host:port"`` strings or ``(host, port)`` tuples); may be
       omitted when an elastic registry supplies the roster.
     - ``seed``: feeds the named partitioners (and future stochastic knobs).
-    - ``collect``: keep full embeddings on the result (not just counts).
+    - ``collect``: result mode — ``False`` (counts only, default),
+      ``True`` (keep full embeddings on the result) or ``"store"``
+      (enumerate with embeddings and persist them to the session's or
+      server's :class:`~repro.store.EmbeddingStore`; the returned result
+      carries counts only, with pages served from the store).
     - ``limit``: keep at most this many collected embeddings.
     """
 
@@ -71,7 +96,7 @@ class RunConfig:
     backend: str = "auto"
     shards: "tuple[str, ...] | None" = None
     seed: int = 0
-    collect: bool = False
+    collect: "bool | str" = False
     limit: int | None = None
 
     def __post_init__(self) -> None:
@@ -143,6 +168,7 @@ class RunConfig:
                         f"got {factor!r} for machine {machine}"
                     )
             object.__setattr__(self, "stragglers", normalized)
+        object.__setattr__(self, "collect", normalize_collect(self.collect))
         if self.limit is not None and (
             not isinstance(self.limit, int) or self.limit < 1
         ):
@@ -284,3 +310,54 @@ class RunConfig:
             "collect": self.collect,
             "limit": self.limit,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Rebuild a config from its :meth:`to_dict` form (re-validated).
+
+        Inverts everything ``to_dict`` keeps losslessly.  Fields that
+        were reduced to type names can only round-trip when they name a
+        reconstructible value: the partitioner must be one of
+        :data:`PARTITIONER_NAMES` and the cost model must be ``None``
+        (a custom instance cannot be rebuilt from its class name alone —
+        pass the instance to :class:`RunConfig` directly instead).
+        Unknown keys raise :class:`ConfigError` naming them, so a
+        mistyped field fails loudly instead of silently defaulting.
+        """
+        record = dict(data)
+        unknown = sorted(
+            set(record) - {f.name for f in dataclasses.fields(cls)}
+        )
+        if unknown:
+            raise ConfigError(
+                f"unknown RunConfig fields: {', '.join(unknown)}"
+            )
+        if record.get("cost_model") is not None:
+            raise ConfigError(
+                f"cost_model {record['cost_model']!r} cannot be rebuilt "
+                f"from its type name; construct RunConfig with the "
+                f"instance instead"
+            )
+        partitioner = record.get("partitioner", "metis")
+        if not isinstance(partitioner, str) or (
+            partitioner not in PARTITIONER_NAMES
+        ):
+            raise ConfigError(
+                f"partitioner {partitioner!r} cannot be rebuilt from a "
+                f"dict; choose from {', '.join(PARTITIONER_NAMES)}"
+            )
+        if record.get("stragglers") is not None:
+            # JSON object keys are strings; machine ids are ints.
+            try:
+                record["stragglers"] = {
+                    int(machine): factor
+                    for machine, factor in record["stragglers"].items()
+                }
+            except (TypeError, ValueError, AttributeError) as exc:
+                raise ConfigError(
+                    f"stragglers must map machine ids to factors, "
+                    f"got {record['stragglers']!r}"
+                ) from exc
+        if record.get("shards") is not None:
+            record["shards"] = tuple(record["shards"])
+        return cls(**record)

@@ -44,19 +44,30 @@ def record_to_dict(record: "Record | dict[str, Any]") -> dict[str, Any]:
     return record.to_dict()
 
 
-def record_from_dict(data: dict[str, Any]) -> "Record":
+#: ``"kind"`` tags of embedding-store read records (the query server logs
+#: one per served ``page``/``lookup``/``aggregate`` op).  They have no
+#: richer type — each is already its own JSON-safe payload — so
+#: :func:`record_from_dict` replays them as plain dicts.
+STORE_READ_KINDS = ("page", "lookup", "aggregate")
+
+
+def record_from_dict(data: dict[str, Any]) -> "Record | dict[str, Any]":
     """Rebuild a record from its dict form, dispatching on the schema.
 
     ``DeltaRecord`` dicts carry an explicit ``"kind": "delta"`` tag;
-    ``QueryExplanation`` dicts are recognised by their ``rounds`` /
-    ``matching_order`` keys, ``RunResult`` dicts by ``embedding_count``;
-    anything else raises ``ValueError`` (a record log should only contain
-    the three).
+    embedding-store reads carry ``"kind": "page"``/``"lookup"``/
+    ``"aggregate"`` and pass through as dicts (see
+    :data:`STORE_READ_KINDS`); ``QueryExplanation`` dicts are recognised
+    by their ``rounds`` / ``matching_order`` keys, ``RunResult`` dicts by
+    ``embedding_count``; anything else raises ``ValueError`` (a record
+    log should only contain those).
     """
     if data.get("kind") == "delta":
         from repro.streaming.records import DeltaRecord
 
         return DeltaRecord.from_dict(data)
+    if data.get("kind") in STORE_READ_KINDS:
+        return data
     if "rounds" in data and "matching_order" in data:
         from repro.query.explain import QueryExplanation
 
@@ -65,8 +76,8 @@ def record_from_dict(data: dict[str, Any]) -> "Record":
         return RunResult.from_dict(data)
     raise ValueError(
         f"unrecognised record schema (keys: {sorted(data)[:8]}); expected "
-        f"RunResult.to_dict(), QueryExplanation.to_dict() or "
-        f"DeltaRecord.to_dict() output"
+        f"RunResult.to_dict(), QueryExplanation.to_dict(), "
+        f"DeltaRecord.to_dict() or embedding-store read output"
     )
 
 
@@ -108,13 +119,13 @@ def read_results_jsonl(path: str | Path) -> list[RunResult]:
     ]
 
 
-def read_records_jsonl(path: str | Path) -> "list[Record]":
+def read_records_jsonl(path: str | Path) -> "list[Record | dict[str, Any]]":
     """Read back a mixed JSONL log of results, explanations and deltas.
 
     The inverse of :func:`write_results_jsonl` /
     :func:`append_record_jsonl`; each line comes back as the right type
-    via :func:`record_from_dict`, so a server request log replays into
-    live objects.
+    via :func:`record_from_dict` (embedding-store reads as plain dicts),
+    so a server request log replays into live objects.
     """
     return [record_from_dict(data) for data in _read_dicts_jsonl(path)]
 

@@ -28,7 +28,7 @@ import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
-from repro.api.config import RunConfig
+from repro.api.config import RunConfig, normalize_collect
 from repro.api.registry import (
     EngineRegistry,
     default_registry,
@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.query.explain import QueryExplanation
     from repro.runtime.executor import Executor
     from repro.service.server import QueryServer
+    from repro.store import EmbeddingStore
     from repro.streaming.continuous import ContinuousQueryManager, Watch
     from repro.streaming.version import GraphVersion
 
@@ -206,6 +207,7 @@ class Session:
         self._partition = None
         self._executor: "Executor | None" = None
         self._streams: "ContinuousQueryManager | None" = None
+        self._store: "EmbeddingStore | None" = None
         # Re-entrant: run() takes it and calls locked helpers like
         # _get_partition(); re-entrancy keeps those compositions simple.
         self._lock = threading.RLock()
@@ -323,6 +325,31 @@ class Session:
             updates["workers"] = workers
         return self.configure(**updates)
 
+    def with_store(self, store: "EmbeddingStore | str | Path") -> "Session":
+        """Attach a persistent embedding store (or open one at a path).
+
+        Attaching enables ``run(collect="store")`` — the enumeration is
+        persisted as trie-compressed columns keyed like the result cache,
+        and repeated runs (including isomorphic rewrites of the query)
+        are answered from disk without re-enumeration — plus the indexed
+        :meth:`page`, :meth:`lookup` and :meth:`aggregate` reads.
+        Streaming :meth:`ingest` invalidates the old snapshot's stored
+        sets by graph fingerprint, exactly like the result cache.
+        """
+        from repro.store import EmbeddingStore
+
+        with self._lock:
+            if isinstance(store, EmbeddingStore):
+                self._store = store
+            else:
+                self._store = EmbeddingStore(store)
+        return self
+
+    @property
+    def store(self) -> "EmbeddingStore | None":
+        """The attached embedding store, when :meth:`with_store` was used."""
+        return self._store
+
     # -- engine / query selection --------------------------------------
     def engine(self, name: str, **engine_kwargs: Any) -> "Session":
         """Select an engine by registry name/alias (any case).
@@ -420,7 +447,7 @@ class Session:
     def run(
         self,
         *,
-        collect: bool | None = None,
+        collect: "bool | str | None" = None,
         limit: int | None = None,
     ) -> "RunResult":
         """Run the selected engine on the selected query.
@@ -431,6 +458,14 @@ class Session:
         queries run through the engine's ``run_labeled`` (the TurboIso
         matcher layer); there the limit caps enumeration itself, so it
         also caps the reported count.
+
+        ``collect="store"`` (needs :meth:`with_store`) enumerates once
+        and persists the embeddings to the attached store; the returned
+        result carries counts/stats but ``embeddings=None`` — read them
+        back with :meth:`page`, :meth:`lookup` or :meth:`aggregate`.
+        Repeat store-mode runs of the same (isomorphic) query are served
+        from disk without enumerating, marked by the
+        ``service.store_hit`` counter.
         """
         with self._lock:
             if self._pattern is None:
@@ -438,9 +473,17 @@ class Session:
                     "no query selected; call .query(name) first"
                 )
             engine = self.build_engine()
-            collect = self._config.collect if collect is None else collect
+            collect = (
+                self._config.collect
+                if collect is None
+                else normalize_collect(collect)
+            )
             limit = self._config.limit if limit is None else limit
             if self._labeled_query is not None:
+                if collect == "store":
+                    raise ValueError(
+                        "collect='store' serves unlabeled queries only"
+                    )
                 return engine.run_labeled(
                     self.cluster(),
                     self._labeled_graph,
@@ -448,11 +491,17 @@ class Session:
                     collect_embeddings=collect,
                     limit=limit,
                 )
+            key: tuple | None = None
+            if collect == "store":
+                key = self._store_key()
+                served = self._store.result_for(key, self._pattern)
+                if served is not None:
+                    return served
             try:
                 result = engine.run(
                     self.cluster(),
                     self._pattern,
-                    collect_embeddings=collect,
+                    collect_embeddings=bool(collect),
                     executor=self._get_executor(),
                 )
             except DistributedError:
@@ -461,6 +510,12 @@ class Session:
                 # workers come back) instead of failing forever.
                 self._invalidate(partition=False, executor=True)
                 raise
+            if key is not None and not result.failed:
+                from repro.service.cache import copy_result
+
+                self._store.put(key, self._pattern, result)
+                result = copy_result(result)
+                result.embeddings = None
         if limit is not None and result.embeddings is not None:
             result.embeddings = result.embeddings[:limit]
         return result
@@ -548,6 +603,84 @@ class Session:
                 self._invalidate(partition=False, executor=True)
                 raise
 
+    # -- stored-set reads ----------------------------------------------
+    def _store_key(self) -> tuple:
+        """The embedding-store key for the current selection (locked)."""
+        from repro.service.cache import cache_key
+
+        if self._store is None:
+            raise RuntimeError(
+                "no embedding store attached; call .with_store(dir) first"
+            )
+        if self._pattern is None:
+            raise RuntimeError("no query selected; call .query(name) first")
+        if self._labeled_query is not None:
+            raise ValueError(
+                "the embedding store serves unlabeled queries only"
+            )
+        if self._engine_name is None:
+            raise RuntimeError("no engine selected; call .engine(name) first")
+        return cache_key(
+            self._graph,
+            self._pattern,
+            self._engine_name,
+            self._config,
+            collect="store",
+        )
+
+    def _no_stored_set(self) -> LookupError:
+        return LookupError(
+            f"no stored embedding set for {self._pattern.name!r} with "
+            f"engine {self._engine_name!r} on this graph; run it with "
+            f"collect='store' first"
+        )
+
+    def page(self, *, limit: int, offset: int = 0) -> dict[str, Any]:
+        """One contiguous page of the stored set's sorted leaf order.
+
+        Serves ``{"embeddings", "total", "offset", "limit"}`` for the
+        selected engine/query straight from the attached store's range
+        index — no enumeration, no full decompression.  Raises
+        ``LookupError`` until a ``run(collect="store")`` has persisted
+        the set.
+        """
+        with self._lock:
+            key = self._store_key()
+            page = self._store.page(
+                key, self._pattern, limit=limit, offset=offset
+            )
+            if page is None:
+                raise self._no_stored_set()
+            return page
+
+    def lookup(self, vertex: int) -> dict[str, Any]:
+        """Every stored embedding containing data vertex ``vertex``.
+
+        An inverted-postings range scan over the attached store; returns
+        ``{"embeddings", "count", "total", "vertex"}``.
+        """
+        with self._lock:
+            key = self._store_key()
+            found = self._store.lookup(key, self._pattern, vertex)
+            if found is None:
+                raise self._no_stored_set()
+            return found
+
+    def aggregate(self, group_by: str = "root") -> dict[str, Any]:
+        """Group counts over the stored set, without decompressing leaves.
+
+        ``group_by`` is ``"root"`` (per first-query-vertex match),
+        ``"vertex"`` (per contained data vertex) or ``"orbit"`` (per
+        automorphism orbit of query positions); returns ``{"group_by",
+        "total", "groups"}``.
+        """
+        with self._lock:
+            key = self._store_key()
+            groups = self._store.aggregate(key, self._pattern, group_by)
+            if groups is None:
+                raise self._no_stored_set()
+            return groups
+
     # -- serving -------------------------------------------------------
     def serve(
         self,
@@ -557,6 +690,8 @@ class Session:
         threads: int = 4,
         cache: Any = None,
         cache_dir: str | None = None,
+        store: Any = None,
+        store_dir: str | None = None,
         memory_budget_mb: float | None = None,
         log_path: str | None = None,
         tenants: Any = None,
@@ -578,6 +713,11 @@ class Session:
         session's (cached) graph partition; the session stays
         independently usable.  Close the returned server (context manager
         or ``close()``) to stop serving.  Unlabeled queries only.
+
+        ``store``/``store_dir`` enable ``collect="store"`` submissions
+        plus the ``page``/``lookup``/``aggregate`` protocol ops; when
+        neither is given a store attached with :meth:`with_store` is
+        shared with the server.
         """
         from repro.service.server import QueryServer
 
@@ -591,6 +731,12 @@ class Session:
                 threads=threads,
                 cache=cache,
                 cache_dir=cache_dir,
+                store=(
+                    self._store
+                    if store is None and store_dir is None
+                    else store
+                ),
+                store_dir=store_dir,
                 memory_budget_mb=memory_budget_mb,
                 log_path=log_path,
                 partition=self._get_partition(),
@@ -683,6 +829,10 @@ class Session:
             # The partition described the old snapshot; the executor is
             # graph-independent (pure-function workers) and survives.
             self._invalidate(partition=True, executor=False)
+            if self._store is not None:
+                # Stored sets are keyed by fingerprint; drop the old
+                # snapshot's so a later revert can't serve stale pages.
+                self._store.evict_graph(old.fingerprint)
             if self._engine_name is not None:
                 self._engine = self._registry.create(
                     self._engine_name,

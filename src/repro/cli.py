@@ -351,6 +351,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             threads=args.threads,
             cache=cache,
+            store_dir=args.store_dir,
             memory_budget_mb=args.memory_budget_mb,
             log_path=args.log,
             default_quota=default_quota,
@@ -404,18 +405,26 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     "submit needs --query (or --ping/--stats/"
                     "--metrics/--shutdown)"
                 )
+            if args.store and args.show > 0:
+                raise SystemExit(
+                    "--store submissions keep embeddings in the server's "
+                    "store; read them back with 'repro page' / "
+                    "'repro lookup' instead of --show"
+                )
             result = client.submit(
                 args.query,
                 engine=args.engine,
                 priority=args.priority,
                 timeout=args.timeout,
-                collect=True if args.show > 0 else None,
+                collect="store" if args.store
+                else True if args.show > 0 else None,
                 limit=args.show if args.show > 0 else None,
                 tenant=args.tenant,
             )
         except ServiceError as exc:
             raise SystemExit(str(exc))
         cache = client.last_cache
+        store = client.last_store
     if args.json:
         payload = result.to_dict()
         # Only cap when the user asked for a preview; a server configured
@@ -423,6 +432,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if payload["embeddings"] is not None and args.show > 0:
             payload["embeddings"] = sorted(payload["embeddings"])[: args.show]
         payload["cache"] = cache
+        payload["store"] = store
         print(json.dumps(payload, sort_keys=True))
         return 1 if result.failed else 0
     if result.failed:
@@ -430,7 +440,70 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 1
     print(result.summary())
     print(f"cache: {cache}")
+    if store is not None:
+        print(f"store: {store}")
     for emb in sorted(result.embeddings or [])[: args.show]:
+        print("  ", emb)
+    return 0
+
+
+def _connect_or_exit(args: argparse.Namespace):
+    from repro.service.client import connect
+
+    try:
+        return connect((args.host, args.port))
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot connect to a query server at "
+            f"{args.host}:{args.port}: {exc}"
+        )
+
+
+def _cmd_page(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    with _connect_or_exit(args) as client:
+        try:
+            page = client.page(
+                args.query,
+                engine=args.engine,
+                limit=args.limit,
+                offset=args.offset,
+            )
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(page, sort_keys=True))
+        return 0
+    shown = len(page["embeddings"])
+    print(
+        f"page {page['offset']}..{page['offset'] + shown} of "
+        f"{page['total']} stored embeddings (store: {page['store']})"
+    )
+    for emb in page["embeddings"]:
+        print("  ", emb)
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    with _connect_or_exit(args) as client:
+        try:
+            found = client.lookup(
+                args.query, engine=args.engine, vertex=args.vertex
+            )
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(found, sort_keys=True))
+        return 0
+    print(
+        f"{found['count']} of {found['total']} stored embeddings contain "
+        f"vertex {found['vertex']} (store: {found['store']})"
+    )
+    cap = args.show if args.show > 0 else len(found["embeddings"])
+    for emb in found["embeddings"][:cap]:
         print("  ", emb)
     return 0
 
@@ -670,6 +743,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spill cached results to this directory and "
                             "reload them (fingerprint-verified) after a "
                             "restart")
+    serve.add_argument("--store-dir", default=None,
+                       help="persist collect='store' embedding sets to "
+                            "this directory as trie-compressed columns; "
+                            "enables the page/lookup/aggregate ops and "
+                            "survives restarts")
     serve.add_argument("--quota-rate", type=float, default=None,
                        help="default per-tenant submission rate limit "
                             "(requests/second, token bucket)")
@@ -704,9 +782,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "server-side quota / fair share")
     submit.add_argument("--show", type=int, default=0,
                         help="collect and print up to N embeddings")
+    submit.add_argument("--store", action="store_true",
+                        help="collect='store': persist the enumeration to "
+                             "the server's embedding store (needs a serve "
+                             "--store-dir); page it back with 'repro page'")
     submit.add_argument("--json", action="store_true",
-                        help="emit RunResult.to_dict() plus the cache "
-                             "disposition as one JSON document")
+                        help="emit RunResult.to_dict() plus the cache and "
+                             "store dispositions as one JSON document")
     submit.add_argument("--ping", action="store_true",
                         help="health-check the server and exit")
     submit.add_argument("--stats", action="store_true",
@@ -717,6 +799,46 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shutdown", action="store_true",
                         help="ask the server to stop serving and exit")
     submit.set_defaults(func=_cmd_submit)
+
+    page = sub.add_parser(
+        "page",
+        help="page a stored embedding set (submit --store first); "
+             "served from the on-disk trie index, no re-enumeration",
+    )
+    page.add_argument("--host", default="127.0.0.1")
+    page.add_argument("--port", type=int, default=7463)
+    page.add_argument("--query", required=True,
+                      help="registered name or edge-list DSL (isomorphic "
+                           "rewrites of the stored query work)")
+    page.add_argument("--engine", default="RADS")
+    page.add_argument("--limit", type=int, default=10,
+                      help="page size (embeddings per page)")
+    page.add_argument("--offset", type=int, default=0,
+                      help="start of the page in the sorted leaf order")
+    page.add_argument("--json", action="store_true",
+                      help="emit the page (embeddings, total, offset, "
+                           "limit, store) as one JSON document")
+    page.set_defaults(func=_cmd_page)
+
+    lookup = sub.add_parser(
+        "lookup",
+        help="stored embeddings containing a data vertex "
+             "(inverted-postings scan over a stored set)",
+    )
+    lookup.add_argument("--host", default="127.0.0.1")
+    lookup.add_argument("--port", type=int, default=7463)
+    lookup.add_argument("--query", required=True,
+                        help="registered name or edge-list DSL")
+    lookup.add_argument("--engine", default="RADS")
+    lookup.add_argument("--vertex", type=int, required=True,
+                        help="data vertex id to look up")
+    lookup.add_argument("--show", type=int, default=0,
+                        help="print up to N matching embeddings "
+                             "(0 = all)")
+    lookup.add_argument("--json", action="store_true",
+                        help="emit the matches (embeddings, count, total, "
+                             "vertex, store) as one JSON document")
+    lookup.set_defaults(func=_cmd_lookup)
 
     ingest = sub.add_parser(
         "ingest",

@@ -166,6 +166,47 @@ class EmbeddingTrie:
         )
 
 
+def trie_from_paths(
+    paths: Iterable[tuple[int, ...]],
+) -> "tuple[EmbeddingTrie, list[TrieNode]]":
+    """Build a prefix-sharing trie from root-to-leaf paths.
+
+    The trie itself stores no child maps (Def. 11), so construction keeps
+    an external prefix index, exactly as the R-Meef frontier code does
+    mid-expansion.  Returns the trie and one leaf node per *distinct*
+    path, in first-seen order.  All paths must have the same length.
+    """
+    trie = EmbeddingTrie()
+    index: dict[tuple[int, ...], TrieNode] = {}
+    leaves: list[TrieNode] = []
+    depth: int | None = None
+    for path in paths:
+        path = tuple(path)
+        if not path:
+            raise ValueError("empty path")
+        if depth is None:
+            depth = len(path)
+        elif len(path) != depth:
+            raise ValueError(
+                f"ragged paths: expected length {depth}, got {len(path)}"
+            )
+        if path in index:
+            continue
+        node = index.get(path[:1])
+        if node is None:
+            node = trie.add_root(path[0])
+            index[path[:1]] = node
+        for i in range(2, len(path) + 1):
+            prefix = path[:i]
+            child = index.get(prefix)
+            if child is None:
+                child = trie.add_child(node, prefix[-1])
+                index[prefix] = child
+            node = child
+        leaves.append(node)
+    return trie, leaves
+
+
 def embedding_list_bytes(count: int, num_query_vertices: int) -> int:
     """Footprint of the naive embedding-list (EL) representation."""
     return count * (num_query_vertices * 8 + LIST_ENTRY_OVERHEAD)

@@ -103,23 +103,27 @@ def cache_key(
     engine: str,
     config: "RunConfig",
     *,
-    collect: bool,
+    collect: "bool | str",
     digest: str | None = None,
 ) -> tuple:
     """The full, hashable cache key for one (graph, query, engine, config).
 
     ``(graph fingerprint, pattern.canonical_key(), engine, config digest,
     collect)`` — equal for isomorphic patterns, different for anything
-    that could change the served bytes.  Pass a precomputed ``digest``
-    (from :func:`config_digest` of the same config) to skip rehashing an
-    immutable config on a hot path.
+    that could change the served bytes.  ``collect`` is the tri-state
+    result mode (``False``/``True``/``"store"``); store-mode keys also
+    name the persistent :class:`~repro.store.EmbeddingStore` sets.  Pass
+    a precomputed ``digest`` (from :func:`config_digest` of the same
+    config) to skip rehashing an immutable config on a hot path.
     """
+    from repro.api.config import normalize_collect
+
     return (
         graph.fingerprint(),
         pattern.canonical_key(),
         str(engine),
         config_digest(config) if digest is None else digest,
-        bool(collect),
+        normalize_collect(collect),
     )
 
 
@@ -311,23 +315,54 @@ class ResultCache:
             self._entries.clear()
 
     def evict_graph(self, fingerprint: str) -> int:
-        """Drop memory entries keyed to one graph fingerprint.
+        """Drop memory *and* disk entries keyed to one graph fingerprint.
 
         Version-targeted invalidation for the streaming ingest path:
         cache keys lead with the graph fingerprint, so entries for a
         superseded snapshot can never be served again — reclaim their
         memory without flushing results for other graphs.  Spilled disk
-        files are left alone (harmless: lookups only reach the disk tier
-        through a full key, which no longer names this fingerprint).
-        Returns the number of entries dropped, counted as
-        ``invalidations``, not ``evictions``.
+        files whose stored key names the fingerprint are unlinked too:
+        a fingerprint can recur (ingest an edge batch, then delete the
+        same batch), and a stale spill surviving a restart would then
+        serve the old run's bytes for a graph it never saw.  Returns the
+        number of memory entries plus spill files dropped, all counted
+        as ``invalidations``, not ``evictions``.
         """
         with self._lock:
             dead = [k for k in self._entries if k[0] == fingerprint]
             for key in dead:
                 del self._entries[key]
-            self.invalidations += len(dead)
-            return len(dead)
+            dropped = len(dead)
+            if self.disk_dir is not None:
+                # Spill filenames are full-key digests, so the
+                # fingerprint is only recoverable from each file's
+                # embedded key record.
+                for digest in list(self._disk_index):
+                    try:
+                        record = json.loads(
+                            self._disk_path(digest).read_text()
+                        )
+                        stored_key = (
+                            record.get("key")
+                            if isinstance(record, dict)
+                            else None
+                        )
+                    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                        self._drop_disk(digest, counter="disk_errors")
+                        continue
+                    if (
+                        isinstance(stored_key, list)
+                        and stored_key
+                        and stored_key[0] == fingerprint
+                    ):
+                        self._disk_index.pop(digest, None)
+                        try:
+                            self._disk_path(digest).unlink()
+                        except OSError:
+                            pass
+                        dropped += 1
+            self.invalidations += dropped
+            return dropped
 
     # ------------------------------------------------------------------
     def _insert(self, key: tuple, entry: _Entry) -> None:

@@ -63,6 +63,9 @@ class ServiceClient:
         self._next_id = 1
         #: Cache disposition of the most recent submit: hit/miss/dedup.
         self.last_cache: str | None = None
+        #: Store disposition of the most recent submit: ``"hit"`` /
+        #: ``"stored"`` for ``collect="store"``, else None.
+        self.last_store: str | None = None
         #: Pushed delta lines that arrived while waiting for a response
         #: (push-mode watches share the connection); drained by
         #: :class:`Subscription`.
@@ -127,7 +130,7 @@ class ServiceClient:
         *,
         priority: int = 0,
         timeout: float | None = None,
-        collect: bool | None = None,
+        collect: "bool | str | None" = None,
         limit: int | None = None,
         memory_mb: float | None = None,
         tenant: "str | None" = None,
@@ -137,7 +140,10 @@ class ServiceClient:
         Mirrors :meth:`QueryScheduler.submit` (``tenant`` attributes the
         request to a server-side quota); the cache disposition of the
         answer lands in :attr:`last_cache` (``"hit"``, ``"miss"`` or
-        ``"dedup"``).
+        ``"dedup"``).  ``collect="store"`` persists the enumeration in
+        the server's embedding store (needs ``--store-dir``); the store
+        disposition lands in :attr:`last_store` (``"hit"`` or
+        ``"stored"``) and pages come from :meth:`page`.
         """
         response = self._call(
             "submit",
@@ -151,7 +157,58 @@ class ServiceClient:
             tenant=tenant,
         )
         self.last_cache = response.get("cache")
+        self.last_store = response.get("store")
         return RunResult.from_dict(response["result"])
+
+    # -- embedding store ------------------------------------------------
+    @staticmethod
+    def _tupled(result: "dict[str, Any]") -> "dict[str, Any]":
+        """JSON embedding rows back to tuples (the RunResult spelling)."""
+        if result.get("embeddings") is not None:
+            result["embeddings"] = [
+                tuple(row) for row in result["embeddings"]
+            ]
+        return result
+
+    def page(
+        self,
+        query: str,
+        engine: str = "RADS",
+        *,
+        limit: int,
+        offset: int = 0,
+    ) -> dict[str, Any]:
+        """One page of a stored set (``collect="store"`` submissions),
+        in its sorted leaf order: ``{"embeddings", "total", "offset",
+        "limit", "store"}``."""
+        response = self._call(
+            "page",
+            query=str(query),
+            engine=engine,
+            limit=limit,
+            offset=offset,
+        )
+        return self._tupled(response["result"])
+
+    def lookup(
+        self, query: str, engine: str = "RADS", *, vertex: int
+    ) -> dict[str, Any]:
+        """Stored embeddings containing data vertex ``vertex``:
+        ``{"embeddings", "count", "total", "vertex", "store"}``."""
+        response = self._call(
+            "lookup", query=str(query), engine=engine, vertex=vertex
+        )
+        return self._tupled(response["result"])
+
+    def aggregate(
+        self, query: str, engine: str = "RADS", *, group_by: str = "root"
+    ) -> dict[str, Any]:
+        """Group counts over a stored set (no decompression):
+        ``{"group_by", "total", "groups", "store"}``."""
+        response = self._call(
+            "aggregate", query=str(query), engine=engine, group_by=group_by
+        )
+        return response["result"]
 
     def explain(
         self, query: str, engine: str = "RADS", *, estimates: bool = True

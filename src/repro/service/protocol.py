@@ -22,10 +22,31 @@ Requests (client -> server)::
      "withdraw": true}
 
 ``submit`` also accepts ``"tenant": "team-a"`` to attribute the request
-to a tenant quota.  ``announce`` registers (or, with ``withdraw``,
+to a tenant quota, and ``"collect"`` is tri-state — ``false`` / ``true``
+/ ``"store"`` (persist the enumeration to the server's embedding store;
+needs ``--store-dir``).  ``announce`` registers (or, with ``withdraw``,
 removes) a shard worker in the server's elastic roster; ``metrics``
 returns structured service counters (queue depth, per-tenant usage,
-cache tiers, shard roster health).
+cache tiers, embedding-store counters, shard roster health).
+
+Embedding-store requests (served from the persisted, trie-compressed
+sets written by ``collect="store"`` submissions; index range scans, no
+full decompression)::
+
+    {"op": "page",      "id": 13, "query": "a-b, b-c, c-a",
+     "engine": "rads", "limit": 100, "offset": 0}
+    {"op": "lookup",    "id": 14, "query": "a-b, b-c, c-a",
+     "engine": "rads", "vertex": 7}
+    {"op": "aggregate", "id": 15, "query": "a-b, b-c, c-a",
+     "engine": "rads", "group_by": "root"|"vertex"|"orbit"}
+
+``page`` returns one contiguous slice of the stored set's sorted leaf
+order; ``lookup`` every stored embedding containing the data vertex;
+``aggregate`` group counts (per first-query-vertex match, per contained
+data vertex, or per automorphism orbit of query-vertex positions).  All
+three answer for isomorphic rewrites of the stored query (embeddings
+and positions are remapped through an explicit isomorphism) and fail
+with ``ok: false`` when no set is stored for the key.
 
 Streaming / continuous-query requests::
 
@@ -50,7 +71,7 @@ this connection as an unsolicited line (no ``id``)::
 Responses (server -> client) echo ``id`` and carry ``ok``::
 
     {"id": 1, "ok": true, "kind": "result", "cache": "hit"|"miss"|"dedup",
-     "result": {... RunResult.to_dict() ...}}
+     "store": null|"hit"|"stored", "result": {... RunResult.to_dict() ...}}
     {"id": 2, "ok": true, "kind": "explanation", "result": {...}}
     {"id": 3, "ok": true, "kind": "stats", "result": {...}}
     {"id": 4, "ok": true, "kind": "pong", "result": {"version": 1}}
@@ -58,7 +79,23 @@ Responses (server -> client) echo ``id`` and carry ``ok``::
     {"id": 9, "ok": true, "kind": "registered", "result": {"watch": "w1", ...}}
     {"id": 11, "ok": true, "kind": "ingested", "result": {"version": 2, ...}}
     {"id": 12, "ok": true, "kind": "deltas", "result": {"deltas": [...], ...}}
+    {"id": 13, "ok": true, "kind": "page",
+     "result": {"embeddings": [[...], ...], "total": N,
+                "offset": 0, "limit": 100, "store": "hit"}}
+    {"id": 14, "ok": true, "kind": "lookup",
+     "result": {"embeddings": [[...], ...], "count": M, "total": N,
+                "vertex": 7, "store": "hit"}}
+    {"id": 15, "ok": true, "kind": "aggregate",
+     "result": {"group_by": "root", "total": N,
+                "groups": {"<vertex>": count, ...}, "store": "hit"}}
     {"id": n, "ok": false, "error": "human-readable message"}
+
+The ``submit`` response's ``cache`` field is the result-cache
+disposition; ``store`` is the embedding-store disposition of a
+``collect="store"`` submission (``"hit"`` = answered from the persisted
+set, ``"stored"`` = enumerated and persisted by this request) and
+``null`` otherwise.  Both surface verbatim in ``repro submit --json``
+payloads.
 
 On connect the server sends one unsolicited hello line
 (``{"kind": "hello", "version": 1, "graph": <fingerprint>, ...}``) so
@@ -87,6 +124,9 @@ OPS = (
     "unregister",
     "ingest",
     "poll",
+    "page",
+    "lookup",
+    "aggregate",
 )
 
 

@@ -61,7 +61,7 @@ import time
 from concurrent.futures import Future
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.api.config import MIB, RunConfig
+from repro.api.config import MIB, RunConfig, normalize_collect
 from repro.api.registry import EngineRegistry, default_registry
 from repro.engines.base import RunResult
 from repro.enumeration.labeled import LabeledPattern
@@ -76,11 +76,17 @@ from repro.service.cache import (
 )
 from repro.service.tenancy import QuotaExceeded, TenantLedger, TenantQuota
 
+#: Mirrors :data:`repro.store.STORE_HIT_COUNTER`.  Spelled out here (and
+#: asserted equal in the store module) because importing it would make
+#: ``repro.store`` <-> ``repro.service`` circular at import time.
+STORE_HIT_COUNTER = "service.store_hit"
+
 if TYPE_CHECKING:  # pragma: no cover - types only
     from typing import Mapping
 
     from repro.distributed.registry import ShardRegistry
     from repro.graph.graph import Graph
+    from repro.store import EmbeddingStore
 
 __all__ = [
     "AdmissionError",
@@ -132,6 +138,10 @@ class QueryTicket:
         self.tenant = tenant
         self.cache_hit = False
         self.deduped = False
+        #: Store disposition for ``collect="store"`` submissions:
+        #: ``"hit"`` (answered from the persisted set) or ``"stored"``
+        #: (enumerated and persisted by this submission); None otherwise.
+        self.store: "str | None" = None
         self._future: "Future[RunResult]" = Future()
         self._timer: "threading.Timer | None" = None
 
@@ -297,6 +307,7 @@ class QueryScheduler:
         tenants: "Mapping[str, TenantQuota] | None" = None,
         default_quota: "TenantQuota | None" = None,
         shard_registry: "ShardRegistry | None" = None,
+        store: "EmbeddingStore | None" = None,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
@@ -304,6 +315,10 @@ class QueryScheduler:
         self.config = config or RunConfig()
         self.registry = registry or default_registry()
         self.shard_registry = shard_registry
+        #: Persistent embedding store backing ``collect="store"``
+        #: submissions and the page/lookup/aggregate ops (None = the
+        #: store tier is off and store-mode submissions are rejected).
+        self.store = store
         if cache is False:
             self.cache: ResultCache | None = None
         else:
@@ -369,6 +384,8 @@ class QueryScheduler:
             "rejected": 0,
             "quota_rejected": 0,
             "executor_fallbacks": 0,
+            "store_hits": 0,
+            "store_stored": 0,
         }
         self._running = 0
         self._max_in_flight = 0
@@ -391,7 +408,7 @@ class QueryScheduler:
         *,
         priority: int = 0,
         timeout: float | None = None,
-        collect: bool | None = None,
+        collect: "bool | str | None" = None,
         limit: int | None = None,
         memory_mb: float | None = None,
         tenant: "str | None" = None,
@@ -408,6 +425,13 @@ class QueryScheduler:
         ``memory_mb`` must not *credit* the admission budget, and a
         negative ``limit`` must not silently serve all-but-the-last
         embeddings — and rejected loudly here, at submit time.
+
+        ``collect="store"`` (needs a configured embedding store)
+        persists the enumeration: a submission whose key already names a
+        stored set is answered from it without queueing
+        (``ticket.store == "hit"``), otherwise the run is enumerated
+        with embeddings, written to the store and served count-only
+        (``ticket.store == "stored"``); pages come from :meth:`page`.
         """
         from repro.api.session import resolve_query
 
@@ -450,7 +474,16 @@ class QueryScheduler:
             ).name
         else:
             engine_name = self.registry.resolve(engine).name
-        collect = self.config.collect if collect is None else bool(collect)
+        collect = (
+            self.config.collect
+            if collect is None
+            else normalize_collect(collect, field="collect")
+        )
+        if collect == "store" and self.store is None:
+            raise ValueError(
+                "collect='store' needs an embedding store; serve with "
+                "--store-dir (or pass store= to the scheduler)"
+            )
         limit = self.config.limit if limit is None else limit
         cost = (
             self._default_cost if memory_mb is None else int(memory_mb * MIB)
@@ -503,8 +536,26 @@ class QueryScheduler:
             collect=collect,
             digest=self._config_digest,
         )
+        # Fast path: a store-mode submission whose set is already
+        # persisted is answered from the store without queueing (the
+        # ResultCache is bypassed for store keys — the store *is* their
+        # serve tier, and it survives restarts).
+        if collect == "store":
+            served = self.store.result_for(key, pattern)
+            if served is not None:
+                ticket.store = "hit"
+                with self._cond:
+                    if self._closed:
+                        raise SchedulerClosed("scheduler is closed")
+                    self._stats["submitted"] += 1
+                    self._stats["store_hits"] += 1
+                    self._tenants.note(tenant, "submitted")
+                ticket._deliver(
+                    lambda: self._finish_result(served, ticket, hit=False)
+                )
+                return ticket
         # Fast path: answer from the cache without queueing.
-        if self.cache is not None:
+        elif self.cache is not None:
             served = self.cache.get(key, pattern)
             if served is not None:
                 ticket.cache_hit = True
@@ -665,6 +716,116 @@ class QueryScheduler:
             self._partition = partition
 
     # ------------------------------------------------------------------
+    # Store serving (index scans; answered inline, never queued)
+    # ------------------------------------------------------------------
+    def _store_key(
+        self, query: "str | Pattern", engine: str
+    ) -> "tuple[tuple, Pattern]":
+        """Resolve (store key, pattern) for one serve-side request."""
+        from repro.api.session import resolve_query
+
+        if self.store is None:
+            raise ValueError(
+                "no embedding store configured; serve with --store-dir "
+                "(or pass store= to the scheduler)"
+            )
+        pattern = resolve_query(query)
+        if isinstance(pattern, LabeledPattern):
+            raise ValueError(
+                "the embedding store serves unlabeled queries"
+            )
+        engine_name = self.registry.resolve(engine).name
+        with self._cond:
+            graph = self.graph
+        key = cache_key(
+            graph,
+            pattern,
+            engine_name,
+            self.config,
+            collect="store",
+            digest=self._config_digest,
+        )
+        return key, pattern
+
+    @staticmethod
+    def _no_stored_set(pattern: Pattern) -> LookupError:
+        return LookupError(
+            f"no stored set for {pattern.name!r} on the current graph; "
+            f"submit it with collect='store' first"
+        )
+
+    def page(
+        self,
+        query: "str | Pattern",
+        engine: str = "RADS",
+        *,
+        limit: int,
+        offset: int = 0,
+    ) -> "dict[str, Any]":
+        """One page of a stored set, in its sorted leaf order.
+
+        An index range scan over the persisted columns — only the
+        ``limit`` requested embeddings are decompressed.  Raises
+        :class:`LookupError` when no set is stored for the key.
+        """
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise ValueError(
+                f"limit must be a positive integer, got {limit!r}"
+            )
+        if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+            raise ValueError(
+                f"offset must be a non-negative integer, got {offset!r}"
+            )
+        key, pattern = self._store_key(query, engine)
+        result = self.store.page(key, pattern, limit=limit, offset=offset)
+        if result is None:
+            raise self._no_stored_set(pattern)
+        result["store"] = "hit"
+        return result
+
+    def lookup(
+        self, query: "str | Pattern", engine: str = "RADS", *, vertex: int
+    ) -> "dict[str, Any]":
+        """Stored embeddings containing data vertex ``vertex``
+        (inverted-postings scan)."""
+        if not isinstance(vertex, int) or isinstance(vertex, bool) or vertex < 0:
+            raise ValueError(
+                f"vertex must be a non-negative integer, got {vertex!r}"
+            )
+        key, pattern = self._store_key(query, engine)
+        result = self.store.lookup(key, pattern, vertex)
+        if result is None:
+            raise self._no_stored_set(pattern)
+        result["store"] = "hit"
+        return result
+
+    def aggregate(
+        self,
+        query: "str | Pattern",
+        engine: str = "RADS",
+        *,
+        group_by: str = "root",
+    ) -> "dict[str, Any]":
+        """Group counts over a stored set (node ranges; no leaf reads).
+
+        ``group_by``: ``"root"``, ``"vertex"`` or ``"orbit"`` — see
+        :meth:`repro.store.EmbeddingStore.aggregate`.
+        """
+        from repro.store.columnar import AGGREGATE_MODES
+
+        if group_by not in AGGREGATE_MODES:
+            raise ValueError(
+                f"group_by must be one of {', '.join(AGGREGATE_MODES)}, "
+                f"got {group_by!r}"
+            )
+        key, pattern = self._store_key(query, engine)
+        result = self.store.aggregate(key, pattern, group_by)
+        if result is None:
+            raise self._no_stored_set(pattern)
+        result["store"] = "hit"
+        return result
+
+    # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
     def _worker(self) -> None:
@@ -815,6 +976,7 @@ class QueryScheduler:
         if execution.job is not None:
             self._execute_job(execution)
             return
+        stored_mode = False
         try:
             # Construction is inside the guard too: a failing engine
             # factory, executor (dead shard roster) or partition/cluster
@@ -845,9 +1007,18 @@ class QueryScheduler:
             raw = engine.run(
                 cluster,
                 execution.pattern,
-                collect_embeddings=execution.collect,
+                collect_embeddings=bool(execution.collect),
                 executor=executor,
             )
+            if execution.collect == "store" and not raw.failed:
+                # Persist inside the guard: an unwritable store must
+                # fail the waiting tickets, not unwind the worker.  The
+                # served copies carry counts only — embeddings live in
+                # the store and are paged from there.
+                self.store.put(execution.key, execution.pattern, raw)
+                stored_mode = True
+                raw = copy_result(raw)
+                raw.embeddings = None
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
             from repro.distributed.errors import DistributedError
 
@@ -879,7 +1050,7 @@ class QueryScheduler:
             # the lock) guarantees everyone appended is delivered below.
             self._inflight.pop(execution.key, None)
             requests = list(execution.requests)
-        if self.cache is not None:
+        if self.cache is not None and execution.collect != "store":
             # Fault counters (distributed.*) describe how *this*
             # execution was transported, not the result: strip them from
             # the cached copy so later requesters of a healthy roster do
@@ -908,6 +1079,8 @@ class QueryScheduler:
                     with self._cond:
                         self._stats["timeouts"] += 1
                 continue
+            if stored_mode:
+                ticket.store = "stored"
             if ticket._deliver(
                 lambda t=ticket: self._serve_copy(raw, execution.pattern, t)
             ):
@@ -915,6 +1088,8 @@ class QueryScheduler:
                 self._tenants.note(ticket.tenant, "completed")
         with self._cond:
             self._stats["completed"] += delivered
+            if stored_mode:
+                self._stats["store_stored"] += 1
 
     def _execute_job(self, execution: _Execution) -> None:
         """Run an opaque job on this worker; deliver its return value."""
@@ -967,6 +1142,9 @@ class QueryScheduler:
         if self.cache is not None:
             self.cache.annotate(served, hit=hit)
         served.counters[DEDUP_COUNTER] = 1 if ticket.deduped else 0
+        if self.store is not None:
+            # Store hits set 1 in result_for; everything else serves 0.
+            served.counters.setdefault(STORE_HIT_COUNTER, 0)
         return served
 
     # ------------------------------------------------------------------
@@ -994,6 +1172,7 @@ class QueryScheduler:
             snapshot["budget_bytes"] = self._budget
             snapshot["reserved_bytes"] = self._reserved
         snapshot["cache"] = None if self.cache is None else self.cache.stats()
+        snapshot["store"] = None if self.store is None else self.store.stats()
         snapshot["tenants"] = self._tenants.stats()
         return snapshot
 

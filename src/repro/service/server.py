@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 
     from repro.graph.graph import Graph
     from repro.service.tenancy import TenantQuota
+    from repro.store import EmbeddingStore
 
 __all__ = ["QueryServer"]
 
@@ -125,6 +126,8 @@ class QueryServer:
         threads: int = 4,
         cache: "ResultCache | None | bool" = None,
         cache_dir: "str | None" = None,
+        store: "EmbeddingStore | None" = None,
+        store_dir: "str | None" = None,
         memory_budget_mb: float | None = None,
         log_path: "str | None" = None,
         partition: Any = None,
@@ -145,6 +148,16 @@ class QueryServer:
             if cache is False:
                 raise ValueError("cache_dir is meaningless with cache=False")
             cache = ResultCache(disk_dir=cache_dir)
+        if store_dir is not None:
+            if store is not None:
+                raise ValueError(
+                    "pass either a ready EmbeddingStore or store_dir, "
+                    "not both"
+                )
+            from repro.store import EmbeddingStore
+
+            store = EmbeddingStore(store_dir)
+        self.store = store
         # Always own a registry: the announce op must work even when the
         # backend is local (a worker can announce before an operator
         # flips the config to socket on restart), and metrics reports
@@ -168,6 +181,7 @@ class QueryServer:
                 tenants=tenants,
                 default_quota=default_quota,
                 shard_registry=self.shard_registry,
+                store=store,
             )
         except BaseException:
             self._tcp.server_close()
@@ -272,6 +286,10 @@ class QueryServer:
             self._explain_engines.clear()
         if self.scheduler.cache is not None:
             self.scheduler.cache.evict_graph(old.fingerprint)
+        if self.store is not None:
+            # Stored sets for the superseded snapshot are stale the same
+            # way cache entries are — and they persist, so unlink them.
+            self.store.evict_graph(old.fingerprint)
 
     def _hello(self) -> dict[str, Any]:
         current = self.streams.current
@@ -326,6 +344,12 @@ class QueryServer:
                 return self._op_ingest(request_id, message)
             if op == "poll":
                 return self._op_poll(request_id, message)
+            if op == "page":
+                return self._op_page(request_id, message)
+            if op == "lookup":
+                return self._op_lookup(request_id, message)
+            if op == "aggregate":
+                return self._op_aggregate(request_id, message)
             return protocol.error_response(
                 request_id,
                 f"unknown op {op!r}; expected one of "
@@ -382,8 +406,12 @@ class QueryServer:
                 "timeout", "a positive number of seconds", timeout
             )
         collect = message.get("collect")
-        if collect is not None and not isinstance(collect, bool):
-            return self._bad_field("collect", "a boolean", collect)
+        if collect is not None and not (
+            isinstance(collect, bool) or collect == "store"
+        ):
+            return self._bad_field(
+                "collect", "a boolean or 'store'", collect
+            )
         limit = message.get("limit")
         if limit is not None and (
             not isinstance(limit, int)
@@ -434,7 +462,7 @@ class QueryServer:
         record = result.to_dict()
         self._log_record(record)
         return protocol.ok_response(
-            request_id, "result", record, cache=cache
+            request_id, "result", record, cache=cache, store=ticket.store
         )
 
     def _op_explain(
@@ -689,10 +717,125 @@ class QueryServer:
             },
         )
 
+    # -- embedding store (page / lookup / aggregate) --------------------
+    def _store_query(
+        self, message: dict[str, Any], op: str
+    ) -> "tuple[str, str] | str":
+        """Validated (query, engine) for a store op; error string if bad."""
+        query = message.get("query")
+        if not isinstance(query, str) or not query:
+            return f"{op} needs a 'query' (name or pattern DSL)"
+        engine = message.get("engine")
+        if engine is not None and not isinstance(engine, str):
+            return self._bad_field("engine", "an engine name string", engine)
+        return query, str(engine or "RADS")
+
+    def _op_page(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        parsed = self._store_query(message, "page")
+        if isinstance(parsed, str):
+            return protocol.error_response(request_id, parsed)
+        query, engine = parsed
+        limit = message.get("limit")
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            return protocol.error_response(
+                request_id,
+                self._bad_field("limit", "a positive integer", limit),
+            )
+        offset = message.get("offset", 0)
+        if (
+            not isinstance(offset, int)
+            or isinstance(offset, bool)
+            or offset < 0
+        ):
+            return protocol.error_response(
+                request_id,
+                self._bad_field("offset", "a non-negative integer", offset),
+            )
+        try:
+            result = self.scheduler.page(
+                query, engine, limit=limit, offset=offset
+            )
+        except LookupError as exc:
+            return protocol.error_response(request_id, str(exc))
+        self._log_store_read("page", query, engine, result)
+        return protocol.ok_response(request_id, "page", result)
+
+    def _op_lookup(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        parsed = self._store_query(message, "lookup")
+        if isinstance(parsed, str):
+            return protocol.error_response(request_id, parsed)
+        query, engine = parsed
+        vertex = message.get("vertex")
+        if (
+            not isinstance(vertex, int)
+            or isinstance(vertex, bool)
+            or vertex < 0
+        ):
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "vertex", "a non-negative data vertex id", vertex
+                ),
+            )
+        try:
+            result = self.scheduler.lookup(query, engine, vertex=vertex)
+        except LookupError as exc:
+            return protocol.error_response(request_id, str(exc))
+        self._log_store_read("lookup", query, engine, result)
+        return protocol.ok_response(request_id, "lookup", result)
+
+    def _op_aggregate(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        from repro.store.columnar import AGGREGATE_MODES
+
+        parsed = self._store_query(message, "aggregate")
+        if isinstance(parsed, str):
+            return protocol.error_response(request_id, parsed)
+        query, engine = parsed
+        group_by = message.get("group_by", "root")
+        if group_by not in AGGREGATE_MODES:
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "group_by",
+                    f"one of {', '.join(AGGREGATE_MODES)}",
+                    group_by,
+                ),
+            )
+        try:
+            result = self.scheduler.aggregate(
+                query, engine, group_by=str(group_by)
+            )
+        except LookupError as exc:
+            return protocol.error_response(request_id, str(exc))
+        self._log_store_read("aggregate", query, engine, result)
+        return protocol.ok_response(request_id, "aggregate", result)
+
+    def _log_store_read(
+        self, kind: str, query: str, engine: str, result: dict[str, Any]
+    ) -> None:
+        """Append a served store read to the request log (replayable —
+        ``record_from_dict`` passes these ``kind``-tagged dicts through).
+        """
+        if self._log_path is None:
+            return
+        record = dict(result)
+        # Embedding pages can be large; the log keeps the read's shape
+        # (query, engine, counts, disposition), not the payload rows.
+        record.pop("embeddings", None)
+        record.update(kind=kind, query=query, engine=engine)
+        self._log_record(record)
+
     def _metrics(self) -> dict[str, Any]:
         """Structured service counters for the ``metrics`` op."""
         scheduler = self.scheduler.stats()
         cache = scheduler.pop("cache", None)
+        store = scheduler.pop("store", None)
         tenants = scheduler.pop("tenants", {})
         current = self.streams.current
         return {
@@ -702,6 +845,7 @@ class QueryServer:
             "graph_version": current.version,
             "scheduler": scheduler,
             "cache": cache,
+            "store": store,
             "tenants": tenants,
             "streaming": self.streams.stats(),
             "shards": {

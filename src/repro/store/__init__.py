@@ -1,0 +1,26 @@
+"""Persistent, indexed embedding store (the PR 8 subsystem).
+
+Collected result sets outlive the run that produced them: the paper's
+Sec. 5 embedding trie, flattened to per-level NumPy columns
+(:class:`~repro.store.columnar.TrieColumns`), persisted atomically and
+keyed by the service cache key (:class:`~repro.store.store.EmbeddingStore`),
+with ``page`` / ``lookup`` / ``aggregate`` served as index range scans.
+"""
+
+from repro.store.columnar import TrieColumns
+from repro.store.store import (
+    STORE_FORMAT,
+    STORE_HIT_COUNTER,
+    EmbeddingStore,
+    StoredSet,
+    pattern_orbits,
+)
+
+__all__ = [
+    "STORE_FORMAT",
+    "STORE_HIT_COUNTER",
+    "EmbeddingStore",
+    "StoredSet",
+    "TrieColumns",
+    "pattern_orbits",
+]

@@ -1,0 +1,318 @@
+"""Columnar embedding-trie layout: the Def. 11 trie as NumPy arrays.
+
+:class:`TrieColumns` flattens a collected result set into the paper's
+embedding trie (Sec. 5) and stores it column-wise: level ``j`` keeps one
+``int64`` entry per *distinct* length-``j+1`` prefix — its data vertex in
+``values[j]`` and the index of its parent (a level ``j-1`` node) in
+``parents[j]``.  That is exactly the (vertex, parent-pointer) pair of
+Def. 11 with the child count implied by the parent array, so
+``node_count`` matches :func:`~repro.core.embedding_trie.trie_nodes_for_results`
+and the Tables 3-4 ``NODE_BYTES`` accounting carries over unchanged.
+
+The layout doubles as an index.  Leaves are kept in lexicographic order
+of their embedding tuples (the *sorted leaf order*), which makes every
+trie node own a **contiguous** leaf range: all embeddings sharing a
+prefix are adjacent once sorted.  From the parent arrays alone we derive
+``leaf_begin``/``leaf_end`` per node, and per-level value orderings give
+inverted postings.  Every serve-side operation is then a range scan:
+
+- ``page(offset, limit)`` — decompress one contiguous leaf slice by
+  chasing parent pointers with vectorized gathers (no full scan);
+- ``lookup(v)`` — per-level binary search for nodes matching ``v``,
+  union of their (disjoint — embeddings are injective) leaf ranges;
+- ``aggregate`` — group sizes read off node ranges without touching
+  leaves at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.embedding_trie import (
+    NODE_BYTES,
+    EmbeddingTrie,
+    TrieNode,
+    trie_from_paths,
+)
+
+__all__ = ["TrieColumns"]
+
+#: Allowed ``group_by`` modes for :meth:`TrieColumns.aggregate`.
+AGGREGATE_MODES = ("root", "vertex", "orbit")
+
+
+class TrieColumns:
+    """A result set flattened to per-level vertex + parent columns.
+
+    Construct with :meth:`from_embeddings` (sorts and deduplicates) or
+    :meth:`from_arrays` (trusted columns, e.g. loaded from disk).  The
+    embedding tuples themselves are never materialized except by the
+    explicit ``decompress_*`` calls.
+    """
+
+    def __init__(
+        self,
+        values: "list[np.ndarray]",
+        parents: "list[np.ndarray]",
+    ):
+        if len(values) != len(parents):
+            raise ValueError("values/parents level count mismatch")
+        if not values:
+            raise ValueError("at least one level required")
+        self.values = values
+        self.parents = parents
+        self.depth = len(values)
+        #: Leaves are the deepest level's nodes; embeddings are unique,
+        #: so leaf count == node count at the last level.
+        self.leaf_count = int(values[-1].shape[0])
+        self._build_ranges()
+        self._postings: "list[np.ndarray] | None" = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_embeddings(
+        cls, embeddings: Sequence[tuple[int, ...]], num_vertices: int
+    ) -> "TrieColumns":
+        """Flatten ``embeddings`` (tuples of ``num_vertices`` data
+        vertices) into sorted columnar form.  Duplicates collapse, order
+        is discarded: the canonical leaf order is lexicographic."""
+        if num_vertices < 1:
+            raise ValueError("num_vertices must be >= 1")
+        rows = np.asarray(list(embeddings), dtype=np.int64)
+        if rows.size == 0:
+            rows = rows.reshape(0, num_vertices)
+        if rows.ndim != 2 or rows.shape[1] != num_vertices:
+            raise ValueError(
+                f"embeddings must be {num_vertices}-tuples, "
+                f"got array shape {rows.shape}"
+            )
+        # np.unique(axis=0) both sorts lexicographically and drops
+        # duplicate rows — the two invariants the layout needs.
+        rows = np.unique(rows, axis=0)
+        n = rows.shape[0]
+        values: list[np.ndarray] = []
+        parents: list[np.ndarray] = []
+        # node_of[i] = index (at the current level) of the node owning
+        # sorted leaf i; level j nodes are the distinct (j+1)-prefixes.
+        prev_node_of = np.zeros(n, dtype=np.int64)
+        for level in range(num_vertices):
+            prefix = rows[:, : level + 1]
+            if n == 0:
+                starts = np.zeros(0, dtype=np.int64)
+                node_of = np.zeros(0, dtype=np.int64)
+            else:
+                new = np.ones(n, dtype=bool)
+                new[1:] = np.any(prefix[1:] != prefix[:-1], axis=1)
+                node_of = np.cumsum(new, dtype=np.int64) - 1
+                starts = np.flatnonzero(new)
+            values.append(np.ascontiguousarray(rows[starts, level]))
+            if level == 0:
+                parents.append(np.zeros(len(starts), dtype=np.int64))
+            else:
+                parents.append(np.ascontiguousarray(prev_node_of[starts]))
+            prev_node_of = node_of
+        return cls(values, parents)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        values: "Iterable[np.ndarray]",
+        parents: "Iterable[np.ndarray]",
+    ) -> "TrieColumns":
+        """Rebuild from persisted columns (validates shapes/monotonicity)."""
+        values = [np.asarray(v, dtype=np.int64) for v in values]
+        parents = [np.asarray(p, dtype=np.int64) for p in parents]
+        if len(values) != len(parents):
+            raise ValueError("values/parents level count mismatch")
+        for level, (vals, pars) in enumerate(zip(values, parents)):
+            if vals.shape != pars.shape or vals.ndim != 1:
+                raise ValueError(f"level {level}: malformed columns")
+            if level == 0:
+                if pars.size and (pars != 0).any():
+                    raise ValueError("level 0 nodes must have parent 0")
+            else:
+                if pars.size and (
+                    (np.diff(pars) < 0).any()
+                    or pars[0] != 0
+                    or pars[-1] != len(values[level - 1]) - 1
+                ):
+                    raise ValueError(
+                        f"level {level}: parent pointers must be "
+                        f"nondecreasing and cover the parent level"
+                    )
+        return cls(values, parents)
+
+    # -- derived indexes ------------------------------------------------
+    def _build_ranges(self) -> None:
+        """Per-node contiguous leaf ranges, bottom-up from parents."""
+        n = self.leaf_count
+        self.leaf_begin: list[np.ndarray] = [None] * self.depth  # type: ignore[list-item]
+        self.leaf_end: list[np.ndarray] = [None] * self.depth  # type: ignore[list-item]
+        self.leaf_begin[-1] = np.arange(n, dtype=np.int64)
+        self.leaf_end[-1] = np.arange(1, n + 1, dtype=np.int64)
+        for level in range(self.depth - 2, -1, -1):
+            node_ids = np.arange(len(self.values[level]), dtype=np.int64)
+            child_parents = self.parents[level + 1]
+            first = np.searchsorted(child_parents, node_ids, side="left")
+            last = np.searchsorted(child_parents, node_ids, side="right")
+            self.leaf_begin[level] = self.leaf_begin[level + 1][first]
+            # last child's end; every node has >= 1 child by construction
+            self.leaf_end[level] = self.leaf_end[level + 1][last - 1]
+
+    def _level_postings(self) -> "list[np.ndarray]":
+        """Per-level stable argsort of node values (inverted postings)."""
+        if self._postings is None:
+            self._postings = [
+                np.argsort(vals, kind="stable") for vals in self.values
+            ]
+        return self._postings
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Total trie nodes — equals ``trie_nodes_for_results``."""
+        return sum(int(v.shape[0]) for v in self.values)
+
+    def memory_bytes(self) -> int:
+        """Simulated Def. 11 footprint (Tables 3-4 accounting)."""
+        return self.node_count * NODE_BYTES
+
+    def nbytes(self) -> int:
+        """Actual bytes held by the columns."""
+        return sum(v.nbytes + p.nbytes for v, p in zip(self.values, self.parents))
+
+    # -- decompression --------------------------------------------------
+    def decompress_leaves(self, leaf_ids: np.ndarray) -> "list[tuple[int, ...]]":
+        """Embedding tuples for the given sorted-leaf indices (any order)."""
+        leaf_ids = np.asarray(leaf_ids, dtype=np.int64)
+        out = np.empty((leaf_ids.shape[0], self.depth), dtype=np.int64)
+        node = leaf_ids
+        for level in range(self.depth - 1, -1, -1):
+            out[:, level] = self.values[level][node]
+            node = self.parents[level][node]
+        return [tuple(int(x) for x in row) for row in out]
+
+    def decompress_range(self, offset: int, limit: "int | None" = None):
+        """One contiguous page of the sorted leaf order."""
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        stop = self.leaf_count if limit is None else min(
+            self.leaf_count, offset + limit
+        )
+        return self.decompress_leaves(
+            np.arange(min(offset, stop), stop, dtype=np.int64)
+        )
+
+    def decompress_all(self) -> "list[tuple[int, ...]]":
+        """The full result set in sorted leaf order."""
+        return self.decompress_range(0)
+
+    # -- index scans ----------------------------------------------------
+    def _ranges_for_vertex(self, level: int, vertex: int):
+        """(begin, end) leaf-range arrays of level nodes matching vertex."""
+        order = self._level_postings()[level]
+        vals = self.values[level][order]
+        lo = int(np.searchsorted(vals, vertex, side="left"))
+        hi = int(np.searchsorted(vals, vertex, side="right"))
+        nodes = order[lo:hi]
+        return self.leaf_begin[level][nodes], self.leaf_end[level][nodes]
+
+    def lookup_leaves(self, vertex: int) -> np.ndarray:
+        """Sorted leaf ids of embeddings containing data vertex ``vertex``.
+
+        Embeddings are injective (subgraph isomorphism), so a vertex
+        appears at most once per embedding and per-level node ranges are
+        pairwise disjoint — the union is a plain concatenation.
+        """
+        pieces: list[np.ndarray] = []
+        for level in range(self.depth):
+            begins, ends = self._ranges_for_vertex(level, vertex)
+            for b, e in zip(begins.tolist(), ends.tolist()):
+                pieces.append(np.arange(b, e, dtype=np.int64))
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        leaves = np.concatenate(pieces)
+        leaves.sort()
+        return leaves
+
+    def lookup(self, vertex: int) -> "list[tuple[int, ...]]":
+        """Embeddings containing ``vertex``, in sorted leaf order."""
+        return self.decompress_leaves(self.lookup_leaves(int(vertex)))
+
+    def contain_count(self, vertex: int) -> int:
+        """How many embeddings contain ``vertex`` (index ranges only)."""
+        total = 0
+        for level in range(self.depth):
+            begins, ends = self._ranges_for_vertex(level, int(vertex))
+            total += int((ends - begins).sum())
+        return total
+
+    def aggregate(
+        self, group_by: str, *, orbits: "Sequence[Sequence[int]] | None" = None
+    ) -> "dict[str, int] | dict[str, dict[str, int]]":
+        """Group counts as an index scan (leaves are never decompressed).
+
+        - ``"root"``: embeddings per first-query-vertex match — the
+          level-0 node leaf-range sizes.
+        - ``"vertex"``: embeddings containing each data vertex, summed
+          over per-level node ranges (injectivity makes this exact).
+        - ``"orbit"``: per automorphism orbit of query-vertex positions
+          (pass ``orbits``), the per-data-vertex containment count within
+          that orbit's levels.
+
+        Keys are strings (JSON object keys on the wire).
+        """
+        if group_by == "root":
+            sizes = self.leaf_end[0] - self.leaf_begin[0]
+            return {
+                str(int(v)): int(c)
+                for v, c in zip(self.values[0], sizes)
+            }
+        if group_by == "vertex":
+            return self._vertex_counts(range(self.depth))
+        if group_by == "orbit":
+            if orbits is None:
+                raise ValueError("group_by='orbit' needs the orbit partition")
+            return {
+                ",".join(str(p) for p in sorted(orbit)): self._vertex_counts(
+                    sorted(orbit)
+                )
+                for orbit in orbits
+            }
+        raise ValueError(
+            f"unknown group_by {group_by!r}; choose from "
+            f"{', '.join(AGGREGATE_MODES)}"
+        )
+
+    def _vertex_counts(self, levels: Iterable[int]) -> "dict[str, int]":
+        """Sum node leaf-range sizes per data vertex over ``levels``."""
+        chunks_v: list[np.ndarray] = []
+        chunks_c: list[np.ndarray] = []
+        for level in levels:
+            chunks_v.append(self.values[level])
+            chunks_c.append(self.leaf_end[level] - self.leaf_begin[level])
+        if not chunks_v:
+            return {}
+        vertices = np.concatenate(chunks_v)
+        counts = np.concatenate(chunks_c)
+        uniq, inverse = np.unique(vertices, return_inverse=True)
+        sums = np.bincount(inverse, weights=counts, minlength=len(uniq))
+        return {
+            str(int(v)): int(c) for v, c in zip(uniq, sums) if int(c) != 0
+        }
+
+    # -- trie round trip ------------------------------------------------
+    def to_trie(self) -> "tuple[EmbeddingTrie, list[TrieNode]]":
+        """Rebuild a linked :class:`EmbeddingTrie` (plus its leaves)."""
+        return trie_from_paths(self.decompress_all())
+
+    def __len__(self) -> int:
+        return self.leaf_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrieColumns(depth={self.depth}, leaves={self.leaf_count}, "
+            f"nodes={self.node_count})"
+        )

@@ -260,6 +260,28 @@ class TestRunConfig:
         assert payload["partitioner"] == "metis"
         assert payload["limit"] == 5
 
+    @pytest.mark.parametrize("bad", [1, 0, "yes", "Store", [], 2.0])
+    def test_collect_rejects_truthy_non_modes(self, bad):
+        # Tri-state means exactly False / True / "store": a truthy 1 must
+        # not silently become True (it would change the cache key).
+        with pytest.raises(ConfigError, match="collect"):
+            RunConfig(collect=bad)
+
+    @pytest.mark.parametrize("mode", [False, True, "store"])
+    def test_collect_mode_round_trips_through_dicts(self, mode):
+        config = RunConfig(collect=mode, machines=3, stragglers={1: 2.0})
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert payload["collect"] == mode
+        rebuilt = RunConfig.from_dict(payload)
+        assert rebuilt == config
+        assert rebuilt.collect is mode if isinstance(mode, bool) else (
+            rebuilt.collect == mode
+        )
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="colect"):
+            RunConfig.from_dict({"colect": True})
+
 
 # ----------------------------------------------------------------------
 # Session
