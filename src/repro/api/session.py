@@ -25,6 +25,7 @@ the cluster and engine by hand.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
@@ -449,6 +450,7 @@ class Session:
         *,
         collect: "bool | str | None" = None,
         limit: int | None = None,
+        trace: bool = False,
     ) -> "RunResult":
         """Run the selected engine on the selected query.
 
@@ -466,6 +468,13 @@ class Session:
         Repeat store-mode runs of the same (isomorphic) query are served
         from disk without enumerating, marked by the
         ``service.store_hit`` counter.
+
+        ``trace=True`` records a span tree for this run — a
+        ``session.run`` root over the engine's per-round spans, executor
+        batches and (socket backend) shard-worker leaf spans — attached
+        as ``result.trace`` (:mod:`repro.obs.trace`).  Counts and stats
+        are bit-identical either way; a store fast-path hit carries no
+        trace (nothing ran), and persisted sets never store one.
         """
         with self._lock:
             if self._pattern is None:
@@ -479,18 +488,39 @@ class Session:
                 else normalize_collect(collect)
             )
             limit = self._config.limit if limit is None else limit
+            tracer = None
+            if trace:
+                from repro.obs.trace import Tracer
+
+                tracer = Tracer()
+
+            def _root():
+                return (
+                    nullcontext()
+                    if tracer is None
+                    else tracer.root(
+                        "session.run",
+                        pattern=self._pattern.name,
+                        engine=engine.name,
+                    )
+                )
+
             if self._labeled_query is not None:
                 if collect == "store":
                     raise ValueError(
                         "collect='store' serves unlabeled queries only"
                     )
-                return engine.run_labeled(
-                    self.cluster(),
-                    self._labeled_graph,
-                    self._labeled_query,
-                    collect_embeddings=collect,
-                    limit=limit,
-                )
+                with _root():
+                    result = engine.run_labeled(
+                        self.cluster(),
+                        self._labeled_graph,
+                        self._labeled_query,
+                        collect_embeddings=collect,
+                        limit=limit,
+                    )
+                if tracer is not None:
+                    result.trace = tracer.tree()
+                return result
             key: tuple | None = None
             if collect == "store":
                 key = self._store_key()
@@ -498,12 +528,13 @@ class Session:
                 if served is not None:
                     return served
             try:
-                result = engine.run(
-                    self.cluster(),
-                    self._pattern,
-                    collect_embeddings=bool(collect),
-                    executor=self._get_executor(),
-                )
+                with _root():
+                    result = engine.run(
+                        self.cluster(),
+                        self._pattern,
+                        collect_embeddings=bool(collect),
+                        executor=self._get_executor(),
+                    )
             except DistributedError:
                 # Total shard-roster loss: drop the dead executor so the
                 # next run() re-dials the configured shards (healing once
@@ -516,6 +547,10 @@ class Session:
                 self._store.put(key, self._pattern, result)
                 result = copy_result(result)
                 result.embeddings = None
+            if tracer is not None:
+                # Attached after the store write: persisted sets never
+                # carry one run's trace.
+                result.trace = tracer.tree()
         if limit is not None and result.embeddings is not None:
             result.embeddings = result.embeddings[:limit]
         return result

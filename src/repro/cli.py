@@ -11,6 +11,7 @@ Subcommands cover the library's workflows end to end::
     python -m repro profile --graph road.npz
     python -m repro serve --graph road.npz --port 7463 [--threads 4]
     python -m repro submit --port 7463 --query q4 [--engine rads] [--json]
+    python -m repro metrics --port 7463 [--format text] [--watch]
     python -m repro worker --port 7471 [--graph road.npz] [--workers 2]
 
 ``worker`` starts a :mod:`repro.distributed` shard daemon; point
@@ -23,8 +24,13 @@ bit-identical to the serial backend; a shard dying mid-run is survived
 ``serve`` starts the :mod:`repro.service` query server (concurrent
 scheduler + canonical-pattern result cache) over one graph; ``submit``
 is the matching client — repeated or isomorphic queries report
-``cache: hit``, and ``--stats`` / ``--ping`` / ``--shutdown`` drive the
-management ops.
+``cache: hit``, ``--trace`` prints the execution's span tree (engine
+rounds, executor batches, shard-worker tasks, with durations and
+percent-of-parent), and ``--stats`` / ``--ping`` / ``--shutdown`` drive
+the management ops.  ``metrics`` is the live observability client:
+timing histograms (p50/p95/p99), the slow-query log, tenants and shard
+health, printed once, polled with ``--watch``, or rendered as
+Prometheus-style text with ``--format text``.
 
 Queries are registered names (``q4``, human aliases like ``house``, any
 case) or edge-list DSL (``"a-b, b-c, c-a"``; ``a:0-b:1`` attaches labels
@@ -420,6 +426,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 else True if args.show > 0 else None,
                 limit=args.show if args.show > 0 else None,
                 tenant=args.tenant,
+                trace=args.trace,
             )
         except ServiceError as exc:
             raise SystemExit(str(exc))
@@ -442,8 +449,66 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"cache: {cache}")
     if store is not None:
         print(f"store: {store}")
+    if args.trace:
+        if result.trace is None:
+            print("trace: none (served from the cache/store fast path)")
+        else:
+            print("trace:")
+            _render_trace(result.trace)
     for emb in sorted(result.embeddings or [])[: args.show]:
         print("  ", emb)
+    return 0
+
+
+def _render_trace(
+    tree: dict,
+    parent_duration: "float | None" = None,
+    indent: str = "  ",
+) -> None:
+    """Print one span tree as an indented outline with durations.
+
+    Each line shows the span name, its duration in milliseconds, its
+    share of the parent span's duration, and any recorded attributes;
+    children are indented beneath their parent in start order.
+    """
+    duration = tree.get("duration")
+    timing = "?" if duration is None else f"{duration * 1000:.2f}ms"
+    if parent_duration and duration is not None:
+        timing += f" ({100.0 * duration / parent_duration:.0f}%)"
+    attributes = tree.get("attributes") or {}
+    notes = "".join(
+        f" {key}={value}" for key, value in sorted(attributes.items())
+    )
+    print(f"{indent}{tree['name']}  {timing}{notes}")
+    for child in tree.get("children", ()):
+        _render_trace(child, duration, indent + "  ")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceError
+
+    remaining = args.count if args.watch else 1
+    first = True
+    with _connect_or_exit(args) as client:
+        while remaining is None or remaining > 0:
+            if not first:
+                time.sleep(args.interval)
+            first = False
+            try:
+                payload = client.metrics(
+                    format="text" if args.format == "text" else None
+                )
+            except ServiceError as exc:
+                raise SystemExit(str(exc))
+            if isinstance(payload, str):
+                print(payload, end="" if payload.endswith("\n") else "\n",
+                      flush=True)
+            else:
+                print(json.dumps(payload, sort_keys=True), flush=True)
+            if remaining is not None:
+                remaining -= 1
     return 0
 
 
@@ -786,6 +851,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="collect='store': persist the enumeration to "
                              "the server's embedding store (needs a serve "
                              "--store-dir); page it back with 'repro page'")
+    submit.add_argument("--trace", action="store_true",
+                        help="record and print the execution's span tree "
+                             "(engine rounds, executor batches, shard "
+                             "tasks); rides in --json as result['trace']")
     submit.add_argument("--json", action="store_true",
                         help="emit RunResult.to_dict() plus the cache and "
                              "store dispositions as one JSON document")
@@ -799,6 +868,26 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shutdown", action="store_true",
                         help="ask the server to stop serving and exit")
     submit.set_defaults(func=_cmd_submit)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="print live service metrics from a running repro serve "
+             "instance (histograms, slow queries, tenants, shards)",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=7463)
+    metrics.add_argument("--format", choices=("json", "text"),
+                         default="json",
+                         help="json: one document per poll; text: "
+                              "Prometheus-style exposition lines")
+    metrics.add_argument("--watch", action="store_true",
+                         help="poll repeatedly instead of printing once")
+    metrics.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between --watch polls (default 2)")
+    metrics.add_argument("--count", type=int, default=None,
+                         help="stop --watch after N polls "
+                              "(default: until interrupted)")
+    metrics.set_defaults(func=_cmd_metrics)
 
     page = sub.add_parser(
         "page",

@@ -191,49 +191,79 @@ class RADSEngine(EnumerationEngine):
         queues: dict[int, deque[list[int]]] = {}
 
         # Phase 1 (per machine, independent): SM-E and region grouping.
-        phase1 = executor.run_tasks(
-            cluster,
-            _phase1_task,
-            [
-                (
-                    t, pattern, plan, constraints, self._enable_sme, collect,
-                    results_budget, self._min_groups, self._grouping,
-                    self._seed,
-                )
-                for t in range(cluster.num_machines)
-            ],
-        )
-        for t, sme_count, embeddings, groups in phase1:
-            self._count += sme_count
-            if collect:
-                results.extend(embeddings)
-            queues[t] = deque(groups)
+        with self.round_span("sm-e", machines=cluster.num_machines):
+            phase1 = executor.run_tasks(
+                cluster,
+                _phase1_task,
+                [
+                    (
+                        t, pattern, plan, constraints, self._enable_sme,
+                        collect, results_budget, self._min_groups,
+                        self._grouping, self._seed,
+                    )
+                    for t in range(cluster.num_machines)
+                ],
+            )
+            for t, sme_count, embeddings, groups in phase1:
+                self._count += sme_count
+                if collect:
+                    results.extend(embeddings)
+                queues[t] = deque(groups)
 
         # Phase 2: process region groups.  A parallel backend trades the
         # clock-driven steal schedule for an up-front deterministic
         # rebalance, making every machine's queue an independent task.
         if executor.parallel:
-            self._prebalance(cluster, queues)
-            for t, count, found in executor.run_tasks(
-                cluster,
-                _phase2_task,
-                [
-                    (
-                        t, pattern, plan, constraints, collect,
-                        int(cache_budget), results_budget / 2,
-                        list(queues[t]),
-                    )
-                    for t in range(cluster.num_machines)
-                    if queues[t]
-                ],
+            with self.round_span(
+                "r-meef",
+                groups=sum(len(q) for q in queues.values()),
+                schedule="prebalanced",
             ):
-                self._count += count
-                if collect:
-                    results.extend(found)
+                self._prebalance(cluster, queues)
+                for t, count, found in executor.run_tasks(
+                    cluster,
+                    _phase2_task,
+                    [
+                        (
+                            t, pattern, plan, constraints, collect,
+                            int(cache_budget), results_budget / 2,
+                            list(queues[t]),
+                        )
+                        for t in range(cluster.num_machines)
+                        if queues[t]
+                    ],
+                ):
+                    self._count += count
+                    if collect:
+                        results.extend(found)
             return results
 
         # Serial backend (asynchronous simulation): always advance the
         # machine with the smallest clock, stealing when idle.
+        with self.round_span(
+            "r-meef",
+            groups=sum(len(q) for q in queues.values()),
+            schedule="steal",
+        ):
+            self._run_steal_loop(
+                cluster, pattern, plan, constraints, collect,
+                cache_budget, results_budget, queues, results,
+            )
+        return results
+
+    def _run_steal_loop(
+        self,
+        cluster: Cluster,
+        pattern: Pattern,
+        plan: ExecutionPlan,
+        constraints: list[tuple[int, int]],
+        collect: bool,
+        cache_budget: float,
+        results_budget: float,
+        queues: "dict[int, deque[list[int]]]",
+        results: list[tuple[int, ...]],
+    ) -> None:
+        """Clock-driven serial R-Meef round with reactive work stealing."""
         workers = {
             t: RMeefWorker(
                 cluster, pattern, plan, constraints, t,
@@ -286,7 +316,6 @@ class RADSEngine(EnumerationEngine):
                 done.add(active)
                 continue
             self._run_group(workers[active], group, collect, results)
-        return results
 
     def _run_group(
         self,

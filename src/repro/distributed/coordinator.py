@@ -108,6 +108,11 @@ class _Batch:
     tagged ``token``), never once per task: the snapshot grows with the
     cluster, so per-task shipping would make batch serialization and wire
     bytes quadratic in the machine count.
+
+    ``trace`` is the JSON-safe span-propagation context of a traced run
+    (:func:`repro.obs.trace.wire_context`) or ``None``; when set it rides
+    on every task message, and the workers' finished span dicts shipped
+    back beside results accumulate in ``spans``.
     """
 
     def __init__(
@@ -116,10 +121,13 @@ class _Batch:
         ctx_data: str,
         tasks: Sequence[Any],
         shard_names: Sequence[str],
+        trace: "dict[str, str] | None" = None,
     ):
         self.token = token
         self.ctx_data = ctx_data
         self.tasks = tasks
+        self.trace = trace
+        self.spans: list[dict] = []
         self.cond = threading.Condition()
         self.shares: dict[str, deque[int]] = {
             name: deque() for name in shard_names
@@ -213,6 +221,9 @@ class ShardCoordinator:
         self._counters = {RESUBMITS: 0, LOST_WORKERS: 0}
         self._counter_lock = threading.Lock()
         self._batch_lock = threading.Lock()
+        #: Worker span dicts from the most recent traced batch, consumed
+        #: by :meth:`take_worker_spans` (guarded by ``_batch_lock``).
+        self._worker_spans: list[dict] = []
         #: Serializes roster edits (registry syncs) against each other;
         #: readers (live_shards, close) see atomic list swaps.
         self._roster_lock = threading.Lock()
@@ -517,7 +528,12 @@ class ShardCoordinator:
     # Batch execution
     # ------------------------------------------------------------------
     def run_batch(
-        self, cluster: "Cluster", fn: Callable, tasks: Sequence[Any]
+        self,
+        cluster: "Cluster",
+        fn: Callable,
+        tasks: Sequence[Any],
+        *,
+        trace: "dict[str, str] | None" = None,
     ) -> list[tuple]:
         """Run one batch; ``(status, payload, delta)`` per task, in order.
 
@@ -525,6 +541,12 @@ class ShardCoordinator:
         (each thread pipelines up to ``window`` in-flight tasks on its
         connection); a shard that fails mid-batch has its outstanding
         tasks requeued for the survivors.
+
+        ``trace`` (a :func:`repro.obs.trace.wire_context` dict) makes the
+        batch *traced*: it rides on every task message, workers emit one
+        span per task and ship the finished span dicts back beside their
+        results, and the caller collects them afterwards via
+        :meth:`take_worker_spans`.
         """
         if self._closed:
             raise DistributedError("coordinator is closed")
@@ -554,6 +576,7 @@ class ShardCoordinator:
                 batch = _Batch(
                     f"batch-{self._batch_seq}", ctx_data, tasks,
                     [shard.name for shard in live],
+                    trace=trace,
                 )
                 threads = [
                     threading.Thread(
@@ -586,7 +609,20 @@ class ShardCoordinator:
                         # bit-identical).
                         continue
                     raise batch.failure
+                self._worker_spans = list(batch.spans)
                 return [batch.results[i] for i in range(len(tasks))]
+
+    def take_worker_spans(self) -> list[dict]:
+        """Span dicts shipped back by the last traced batch (consumed).
+
+        Empty for untraced batches.  Called by
+        :class:`~repro.distributed.executor.SocketExecutor` right after
+        :meth:`run_batch` returns, while the batch span is still open,
+        so the worker spans fold into the live trace.
+        """
+        with self._batch_lock:
+            spans, self._worker_spans = self._worker_spans, []
+            return spans
 
     def _drive(self, shard: _Shard, batch: _Batch) -> None:
         """One shard's batch loop: deal, pipeline, collect, survive."""
@@ -647,6 +683,8 @@ class ShardCoordinator:
                             "op": "task", "id": message_id,
                             "batch": batch.token, "data": data,
                         }
+                        if batch.trace is not None:
+                            message["trace"] = batch.trace
                         if not ctx_sent:
                             # First task this connection sees for the
                             # batch carries the shared (base, fn) context.
@@ -664,6 +702,10 @@ class ShardCoordinator:
                     index = inflight.pop(response["id"])
                     if response.get("ok"):
                         triple = protocol.unpack(response["data"])
+                        worker_spans = response.get("spans")
+                        if worker_spans:
+                            with batch.cond:
+                                batch.spans.extend(worker_spans)
                     else:
                         # The worker is healthy but the task failed there
                         # (pool crash, unserializable result).  Surfaced

@@ -31,6 +31,7 @@ from repro.distributed.coordinator import (
     RESUBMITS,
     ShardCoordinator,
 )
+from repro.obs.trace import attach_spans, span as _obs_span, wire_context
 from repro.runtime.delta import apply_delta
 from repro.runtime.executor import Executor, TaskFn
 
@@ -83,11 +84,20 @@ class SocketExecutor(Executor):
     ) -> list[Any]:
         if not tasks:
             return []
-        try:
-            triples = self._coordinator.run_batch(cluster, fn, tasks)
-        finally:
-            self.workers = len(self._coordinator.live_shards())
-            self._surface_counters(cluster)
+        with _obs_span(
+            "executor.batch", backend="socket", tasks=len(tasks)
+        ):
+            # Traced runs ship the batch span as the parent for the
+            # shard workers' leaf spans; the finished worker spans come
+            # back with the batch and fold into the live tree here.
+            try:
+                triples = self._coordinator.run_batch(
+                    cluster, fn, tasks, trace=wire_context()
+                )
+            finally:
+                self.workers = len(self._coordinator.live_shards())
+                self._surface_counters(cluster)
+                attach_spans(self._coordinator.take_worker_spans())
         payloads: list[Any] = []
         first_error: BaseException | None = None
         for status, payload, delta in triples:

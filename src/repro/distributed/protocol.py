@@ -22,7 +22,8 @@ Requests (coordinator -> worker) then follow; every response echoes
      "graph": "<b64 pickle Graph, only when shipping>"}
     {"op": "task", "id": 2, "batch": "batch-7",
      "data": "<b64 pickle args>",
-     "ctx": "<b64 pickle (base, fn), first task per connection only>"}
+     "ctx": "<b64 pickle (base, fn), first task per connection only>",
+     "trace": {"trace_id": "...", "parent": "..."}}  # traced runs only
     {"op": "ping", "id": 3}
     {"op": "stats", "id": 4}
     {"op": "shutdown", "id": 5}
@@ -32,8 +33,17 @@ Requests (coordinator -> worker) then follow; every response echoes
     {"id": 1, "ok": false, "error": "...", "code": "need-graph",
      "have": ["<fingerprint>", ...]}         # re-bind with the graph
     {"id": 2, "ok": true, "kind": "delta",
-     "data": "<b64 pickle (status, payload, delta)>"}
+     "data": "<b64 pickle (status, payload, delta)>",
+     "spans": [{...}]}                       # traced runs only
     {"id": n, "ok": false, "error": "human-readable message"}
+
+Tracing (PR 9): a traced run's ``task`` messages carry the JSON-safe
+``trace`` propagation context (:func:`repro.obs.trace.wire_context` —
+the trace id plus the coordinator-side batch span to parent on); the
+worker times each task and ships the finished span dict(s) back in the
+``spans`` list beside the delta payload, where the coordinator folds
+them into the live trace.  Untraced runs carry neither field, so the
+wire bytes of the default path are unchanged.
 
 A worker answers ``task`` responses in completion order (its process pool
 may finish them out of order); the coordinator matches on ``id``.  A

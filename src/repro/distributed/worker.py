@@ -46,6 +46,7 @@ import queue
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -54,6 +55,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.distributed import protocol
 from repro.graph.graph import Graph
+from repro.obs.trace import remote_span
 from repro.partition.partition import GraphPartition
 from repro.runtime.executor import _SpecEntry, _worker_run, execute_task
 
@@ -219,6 +221,7 @@ class _Connection:
 
     def _task(self, message: dict[str, Any]) -> None:
         request_id = message.get("id")
+        trace = message.get("trace")
         try:
             token = message.get("batch")
             ctx = message.get("ctx")
@@ -256,15 +259,50 @@ class _Connection:
                 return
             with self._inflight_cond:
                 self._inflight.add(future)
+            started = time.perf_counter()
             future.add_done_callback(
-                lambda f, rid=request_id: self._pool_done(rid, f)
+                lambda f, rid=request_id, tr=trace, t0=started:
+                    self._pool_done(rid, f, trace=tr, started=t0)
             )
-        else:
+        elif trace is None:
             self._respond(request_id, execute_task(
                 self._cluster, base, fn, args
             ))
+        else:
+            started = time.perf_counter()
+            triple = execute_task(self._cluster, base, fn, args)
+            self._respond(
+                request_id, triple,
+                spans=[self._task_span(trace, started, mode="inline")],
+            )
 
-    def _pool_done(self, request_id: Any, future: Any) -> None:
+    def _task_span(
+        self, trace: dict, started: float, *, mode: str
+    ) -> dict:
+        """One finished leaf span for a task executed on this shard.
+
+        Parented on the coordinator-side batch span carried by the task
+        message (the cross-wire link); pool mode's duration includes the
+        task's wait in the daemon's own pool queue.
+        """
+        host, port = self.worker.address
+        return remote_span(
+            trace,
+            "worker.task",
+            started,
+            time.perf_counter() - started,
+            shard=f"{host}:{port}",
+            pid=os.getpid(),
+            mode=mode,
+        )
+
+    def _pool_done(
+        self,
+        request_id: Any,
+        future: Any,
+        trace: "dict | None" = None,
+        started: float = 0.0,
+    ) -> None:
         with self._inflight_cond:
             self._inflight.discard(future)
             self._inflight_cond.notify_all()
@@ -291,9 +329,17 @@ class _Connection:
                 request_id, f"shard task execution failed: {exc!r}"
             ))
             return
-        self._respond(request_id, triple)
+        spans = None
+        if trace is not None:
+            spans = [self._task_span(trace, started, mode="pool")]
+        self._respond(request_id, triple, spans=spans)
 
-    def _respond(self, request_id: Any, triple: tuple) -> None:
+    def _respond(
+        self,
+        request_id: Any,
+        triple: tuple,
+        spans: "list[dict] | None" = None,
+    ) -> None:
         try:
             data = protocol.pack(triple)
         except Exception as exc:  # unpicklable payload
@@ -303,6 +349,8 @@ class _Connection:
             return
         response = protocol.ok_response(request_id, "delta", None)
         response["data"] = data
+        if spans:
+            response["spans"] = spans
         self.write(response)
 
 

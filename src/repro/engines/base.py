@@ -9,6 +9,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.machine import SimulatedMemoryError
+from repro.obs.trace import span as _obs_span
 from repro.query.pattern import Pattern
 from repro.query.symmetry import symmetry_breaking_constraints
 from repro.runtime.executor import Executor, SerialExecutor
@@ -24,6 +25,11 @@ class RunResult:
     ``makespan`` and ``total_comm_bytes`` are the quantities plotted in the
     paper's Figs. 8-11; ``failed`` marks simulated out-of-memory runs (the
     paper's empty bars).
+
+    ``trace`` is the nested span tree of a traced run (see
+    :mod:`repro.obs.trace`) — ``None`` unless the caller asked for
+    tracing.  It is per-request diagnostics, not part of the result
+    identity: cached and stored copies are persisted with it stripped.
     """
 
     engine: str
@@ -37,6 +43,7 @@ class RunResult:
     failed: bool = False
     failure: str | None = None
     counters: dict[str, int] = field(default_factory=dict)
+    trace: dict[str, Any] | None = None
 
     @property
     def comm_mb(self) -> float:
@@ -59,7 +66,7 @@ class RunResult:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe dict form (tuples become lists; inverse: from_dict)."""
-        return {
+        data = {
             "engine": self.engine,
             "pattern_name": self.pattern_name,
             "embedding_count": self.embedding_count,
@@ -75,6 +82,11 @@ class RunResult:
             "failure": self.failure,
             "counters": {str(k): int(v) for k, v in self.counters.items()},
         }
+        if self.trace is not None:
+            # Untraced records keep the exact pre-tracing shape, so
+            # persisted request logs and cache files stay byte-stable.
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunResult":
@@ -98,6 +110,7 @@ class RunResult:
                 str(k): int(v)
                 for k, v in (data.get("counters") or {}).items()
             },
+            trace=data.get("trace"),
         )
 
 
@@ -125,6 +138,20 @@ class EnumerationEngine(ABC):
         per-region-group units of work; engines that are inherently
         sequential may ignore it.
         """
+
+    # -- observability -------------------------------------------------
+    def round_span(self, name: str, **attributes: Any):
+        """A per-round tracing span, ``round.<name>`` (no-op untraced).
+
+        Engines wrap each execution round (SM-E split, an R-Meef unit,
+        a join round …) in ``with self.round_span("r-meef", unit=2):`` —
+        when the run was started under a root span
+        (``Session.run(trace=True)`` or a traced ``submit``) the round
+        becomes a child span; otherwise this is a single context-variable
+        read returning a shared no-op.  Spans observe, never perturb:
+        nothing in the simulated cost model reads them.
+        """
+        return _obs_span(f"round.{name}", engine=self.name, **attributes)
 
     # -- inspection ----------------------------------------------------
     def execution_plan(self, pattern: Pattern):

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.obs.trace import span as _obs_span
 from repro.query.pattern import Pattern
 from repro.query.symmetry import constraint_map
 from repro.runtime.executor import Executor, SerialExecutor
@@ -449,13 +450,15 @@ class DistributedJoinRunner:
             cluster.barrier()
             return per_machine
 
-        current = instances_of(units[0])
+        with _obs_span("round.unit", unit=0, kind=units[0].kind):
+            current = instances_of(units[0])
         current_vertices = units[0].vertices
-        for unit in units[1:]:
-            right = instances_of(unit)
-            current, current_vertices = self.join_round(
-                current, current_vertices, right, unit
-            )
+        for index, unit in enumerate(units[1:], start=1):
+            with _obs_span("round.join", unit=index, kind=unit.kind):
+                right = instances_of(unit)
+                current, current_vertices = self.join_round(
+                    current, current_vertices, right, unit
+                )
         # Gather final embeddings (canonical tuples indexed by query vertex).
         n = self.pattern.num_vertices
         pos = {u: i for i, u in enumerate(current_vertices)}

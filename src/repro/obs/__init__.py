@@ -1,0 +1,55 @@
+"""Observability: tracing, timing histograms, metrics exposition.
+
+Zero-dependency instrumentation threaded through every layer of the
+system (PR 9):
+
+- :mod:`repro.obs.trace` — nested spans with context propagation.
+  ``Session.run(trace=True)`` or a ``submit`` op carrying
+  ``trace: true`` opens a root span; engines open per-round spans via
+  :meth:`~repro.engines.base.EnumerationEngine.round_span`; executors
+  open per-batch spans; the distributed protocol carries the trace
+  context on ``task`` messages so shard workers emit child spans that
+  ship back beside results and reassemble into one tree.  Off by
+  default: the disabled path is a single context-variable read.
+- :mod:`repro.obs.hist` — fixed-bucket latency/queue-wait/cache-lookup
+  histograms (p50/p95/p99 in the ``metrics`` op) and the slow-query
+  ring buffer.
+- :mod:`repro.obs.expo` — Prometheus-style text exposition of the
+  metrics document (``metrics`` op with ``format: "text"``).
+- :mod:`repro.obs.counters` — the registry of every
+  ``RunResult.counters`` namespace, asserted by tier-1 tests.
+
+See the "Observability (PR 9)" section of ROADMAP.md for the span
+schema, histogram buckets, and exposition format.
+"""
+
+from repro.obs.counters import KNOWN_COUNTERS, unknown_counters
+from repro.obs.expo import render_text
+from repro.obs.hist import DEFAULT_BUCKETS, Histogram, SlowQueryLog
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    attach_spans,
+    current_span,
+    remote_span,
+    span,
+    span_names,
+    wire_context,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "KNOWN_COUNTERS",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "attach_spans",
+    "current_span",
+    "remote_span",
+    "render_text",
+    "span",
+    "span_names",
+    "unknown_counters",
+    "wire_context",
+]

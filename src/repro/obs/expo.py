@@ -1,0 +1,94 @@
+"""Prometheus-style text exposition of the ``metrics`` op payload.
+
+:func:`render_text` flattens the JSON metrics document (see
+``QueryServer._metrics``) into the plain-text exposition format external
+scrapers expect: one ``repro_``-prefixed family per numeric leaf, path
+segments joined with underscores::
+
+    # TYPE repro_scheduler_submitted gauge
+    repro_scheduler_submitted 12
+    # TYPE repro_histograms_latency_seconds histogram
+    repro_histograms_latency_seconds_bucket{le="0.01"} 3
+    ...
+    repro_histograms_latency_seconds_sum 1.1472
+    repro_histograms_latency_seconds_count 9
+
+The renderer is schema-free on purpose: new counters added anywhere in
+the metrics document show up as new families without touching this
+module.  Dicts carrying a ``buckets`` list (the
+:meth:`repro.obs.hist.Histogram.snapshot` shape) become histogram
+families with ``le``-labelled cumulative buckets plus ``_sum`` and
+``_count``; other numeric leaves become gauges; strings, nulls and
+non-histogram lists (shard rosters, slow-query entries) are skipped —
+they are structured diagnostics, not time series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["render_text"]
+
+#: Every family name starts with this (one metrics namespace per system).
+PREFIX = "repro"
+
+
+def _sanitize(segment: str) -> str:
+    """A path segment as a metric-name token (``[a-zA-Z0-9_]`` only)."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in str(segment)
+    )
+    return cleaned or "_"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(round(float(value), 9))
+
+
+def _le_label(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else repr(float(bound))
+
+
+def _render_histogram(name: str, snap: dict[str, Any], lines: list[str]) -> None:
+    family = f"{name}_seconds"
+    lines.append(f"# TYPE {family} histogram")
+    for bucket in snap.get("buckets", ()):
+        lines.append(
+            f'{family}_bucket{{le="{_le_label(bucket["le"])}"}} '
+            f'{int(bucket["count"])}'
+        )
+    lines.append(f"{family}_sum {_format_value(float(snap.get('sum', 0.0)))}")
+    lines.append(f"{family}_count {int(snap.get('count', 0))}")
+    for key in ("p50", "p95", "p99"):
+        if key in snap:
+            quantile = float(key[1:]) / 100.0
+            lines.append(
+                f'{family}{{quantile="{quantile:g}"}} '
+                f"{_format_value(float(snap[key]))}"
+            )
+
+
+def _walk(prefix: str, node: Any, lines: list[str]) -> None:
+    if isinstance(node, dict):
+        if "buckets" in node and isinstance(node.get("buckets"), list):
+            _render_histogram(prefix, node, lines)
+            return
+        for key, value in node.items():
+            _walk(f"{prefix}_{_sanitize(key)}", value, lines)
+        return
+    if isinstance(node, bool) or isinstance(node, (int, float)):
+        lines.append(f"# TYPE {prefix} gauge")
+        lines.append(f"{prefix} {_format_value(node)}")
+    # Strings, None and plain lists are structured diagnostics — skipped.
+
+
+def render_text(metrics: dict[str, Any]) -> str:
+    """The metrics document as Prometheus-style exposition text."""
+    lines: list[str] = []
+    _walk(PREFIX, metrics, lines)
+    return "\n".join(lines) + "\n"

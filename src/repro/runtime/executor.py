@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.obs.trace import span as _obs_span
 from repro.partition.partition import GraphPartition
 from repro.runtime.delta import (
     ClusterState,
@@ -106,7 +107,8 @@ class SerialExecutor(Executor):
     def run_tasks(
         self, cluster: Cluster, fn: TaskFn, tasks: Sequence[Any]
     ) -> list[Any]:
-        return [fn(cluster, args) for args in tasks]
+        with _obs_span("executor.batch", backend="serial", tasks=len(tasks)):
+            return [fn(cluster, args) for args in tasks]
 
 
 @dataclass(frozen=True)
@@ -202,6 +204,17 @@ class ProcessExecutor(Executor):
     ) -> list[Any]:
         if not tasks:
             return []
+        with _obs_span(
+            "executor.batch",
+            backend="process",
+            tasks=len(tasks),
+            workers=self.workers,
+        ):
+            return self._run_tasks_pooled(cluster, fn, tasks)
+
+    def _run_tasks_pooled(
+        self, cluster: Cluster, fn: TaskFn, tasks: Sequence[Any]
+    ) -> list[Any]:
         pool = self._ensure_pool()
         spec = self._spec_for(cluster)
         base = capture_state(cluster)

@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.engines.base import RunResult
+from repro.obs.hist import Histogram
 from repro.query.isomorphism import find_isomorphism
 from repro.query.pattern import Pattern
 
@@ -232,6 +233,9 @@ class ResultCache:
         self._wall = wall_clock
         self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
         self._lock = threading.Lock()
+        #: Wall time of every :meth:`get` (hit or miss, disk included);
+        #: surfaced as the ``cache_lookup`` histogram in the metrics op.
+        self.lookups = Histogram("cache_lookup")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -266,6 +270,13 @@ class ResultCache:
         and communication stats are the stored run's, bit-identical to
         re-running the query.
         """
+        started = time.perf_counter()
+        try:
+            return self._get(key, pattern)
+        finally:
+            self.lookups.observe(time.perf_counter() - started)
+
+    def _get(self, key: tuple, pattern: Pattern) -> RunResult | None:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and self._expired(entry):
@@ -303,6 +314,10 @@ class ResultCache:
                 None if self.ttl is None else self._clock() + self.ttl
             ),
         )
+        # Per-request diagnostics never enter the shared tier: a later
+        # requester gets the stored run's counts and stats, not this
+        # request's span tree (and spill files stay byte-stable).
+        entry.result.trace = None
         with self._lock:
             self._insert(key, entry)
             if self.disk_dir is not None:

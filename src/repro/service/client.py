@@ -134,6 +134,7 @@ class ServiceClient:
         limit: int | None = None,
         memory_mb: float | None = None,
         tenant: "str | None" = None,
+        trace: bool = False,
     ) -> RunResult:
         """Run one query on the server; blocks until the result arrives.
 
@@ -144,6 +145,10 @@ class ServiceClient:
         the server's embedding store (needs ``--store-dir``); the store
         disposition lands in :attr:`last_store` (``"hit"`` or
         ``"stored"``) and pages come from :meth:`page`.
+
+        ``trace=True`` asks the server to record the execution's span
+        tree; it comes back on ``result.trace`` (``None`` for fast-path
+        cache/store hits, where nothing ran).
         """
         response = self._call(
             "submit",
@@ -155,6 +160,7 @@ class ServiceClient:
             limit=limit,
             memory_mb=memory_mb,
             tenant=tenant,
+            trace=trace or None,
         )
         self.last_cache = response.get("cache")
         self.last_store = response.get("store")
@@ -226,10 +232,13 @@ class ServiceClient:
         """Scheduler + cache counter snapshot (see ``QueryScheduler.stats``)."""
         return self._call("stats")["result"]
 
-    def metrics(self) -> dict[str, Any]:
+    def metrics(self, *, format: "str | None" = None) -> "dict[str, Any] | str":
         """Structured service metrics: uptime, scheduler/cache counters,
-        per-tenant usage and the shard-roster health snapshot."""
-        return self._call("metrics")["result"]
+        timing histograms (p50/p95/p99), the slow-query log, per-tenant
+        usage and the shard-roster health snapshot.  With
+        ``format="text"`` the server renders the same snapshot as
+        Prometheus-style exposition text and a ``str`` is returned."""
+        return self._call("metrics", format=format)["result"]
 
     def ping(self) -> bool:
         """Round-trip health check."""

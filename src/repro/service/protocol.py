@@ -22,12 +22,20 @@ Requests (client -> server)::
      "withdraw": true}
 
 ``submit`` also accepts ``"tenant": "team-a"`` to attribute the request
-to a tenant quota, and ``"collect"`` is tri-state — ``false`` / ``true``
+to a tenant quota, ``"collect"`` is tri-state — ``false`` / ``true``
 / ``"store"`` (persist the enumeration to the server's embedding store;
-needs ``--store-dir``).  ``announce`` registers (or, with ``withdraw``,
-removes) a shard worker in the server's elastic roster; ``metrics``
-returns structured service counters (queue depth, per-tenant usage,
-cache tiers, embedding-store counters, shard roster health).
+needs ``--store-dir``) — and ``"trace": true`` records the execution's
+span tree (:mod:`repro.obs.trace`), returned inside the result record
+under ``"trace"`` (absent on untraced submits and fast-path cache/store
+hits, so default payloads are byte-identical to earlier protocol
+revisions).  ``announce`` registers (or, with ``withdraw``, removes) a
+shard worker in the server's elastic roster; ``metrics`` returns
+structured service counters (queue depth, per-tenant usage, cache
+tiers, embedding-store counters, shard roster health, timing-histogram
+snapshots with p50/p95/p99 and the slow-query log) — or, with
+``"format": "text"``, the same snapshot rendered as Prometheus-style
+exposition text (the result is then a string, one ``repro_*`` sample
+per line).
 
 Embedding-store requests (served from the persisted, trie-compressed
 sets written by ``collect="store"`` submissions; index range scans, no

@@ -59,12 +59,15 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.api.config import MIB, RunConfig, normalize_collect
 from repro.api.registry import EngineRegistry, default_registry
 from repro.engines.base import RunResult
 from repro.enumeration.labeled import LabeledPattern
+from repro.obs.hist import Histogram, SlowQueryLog
+from repro.obs.trace import Tracer
 from repro.query.pattern import Pattern
 from repro.service.cache import (
     DEDUP_COUNTER,
@@ -129,6 +132,7 @@ class QueryTicket:
         deadline: float | None,
         limit: int | None,
         tenant: "str | None" = None,
+        trace: bool = False,
     ):
         self.pattern = pattern
         self.engine = engine
@@ -136,6 +140,8 @@ class QueryTicket:
         self.deadline = deadline
         self.limit = limit
         self.tenant = tenant
+        #: The request asked for a span tree (``RunResult.trace``).
+        self.trace = trace
         self.cache_hit = False
         self.deduped = False
         #: Store disposition for ``collect="store"`` submissions:
@@ -229,6 +235,7 @@ class _Execution:
         graph: "Graph | None" = None,
         partition: Any = None,
         job: "Callable[[], Any] | None" = None,
+        submitted_at: float = 0.0,
     ):
         self.key = key
         self.engine = ticket.engine
@@ -236,6 +243,12 @@ class _Execution:
         self.graph = graph
         self.partition = partition
         self.job = job
+        #: Scheduler-clock reading at submit; queue-wait is measured
+        #: from here to the claim.
+        self.submitted_at = submitted_at
+        #: The run records a span tree (the primary asked, or a dedup
+        #: rider escalated it before a worker claimed the execution).
+        self.traced = ticket.trace
         self.requests: list[QueryTicket] = [ticket]
         #: The pattern actually enumerated (the primary's spelling).
         self.pattern = ticket.pattern
@@ -389,6 +402,14 @@ class QueryScheduler:
         }
         self._running = 0
         self._max_in_flight = 0
+        # -- observability ---------------------------------------------
+        # End-to-end submit->deliver latency (fast-path hits included),
+        # queue wait (submit->claim, queued executions only) and the
+        # slowest executions with their span trees; surfaced through
+        # observability() / the server's ``metrics`` op.
+        self.latency = Histogram("latency")
+        self.queue_wait = Histogram("queue_wait")
+        self.slow_queries = SlowQueryLog()
         self._workers = [
             threading.Thread(
                 target=self._worker, name=f"repro-query-{i}", daemon=True
@@ -412,6 +433,7 @@ class QueryScheduler:
         limit: int | None = None,
         memory_mb: float | None = None,
         tenant: "str | None" = None,
+        trace: bool = False,
     ) -> QueryTicket:
         """Enqueue one query; returns immediately with a :class:`QueryTicket`.
 
@@ -432,6 +454,12 @@ class QueryScheduler:
         (``ticket.store == "hit"``), otherwise the run is enumerated
         with embeddings, written to the store and served count-only
         (``ticket.store == "stored"``); pages come from :meth:`page`.
+
+        ``trace=True`` records a span tree for the execution — the
+        ``service.execute`` root, per-round engine spans, executor
+        batches and (socket backend) shard-worker leaf spans — attached
+        as ``result.trace``.  Counts and stats are bit-identical either
+        way; cache/store fast-path answers carry no trace (nothing ran).
         """
         from repro.api.session import resolve_query
 
@@ -514,7 +542,8 @@ class QueryScheduler:
                 f"query {pattern.name!r} needs {cost} bytes but tenant "
                 f"{tenant!r}'s memory budget is {tenant_budget} bytes"
             )
-        deadline = None if timeout is None else self._clock() + timeout
+        submitted = self._clock()
+        deadline = None if timeout is None else submitted + timeout
         ticket = QueryTicket(
             pattern,
             engine_name,
@@ -522,6 +551,7 @@ class QueryScheduler:
             deadline=deadline,
             limit=limit,
             tenant=tenant,
+            trace=bool(trace),
         )
         # Pin the snapshot this submission runs against: the cache key
         # below and the execution's graph/partition must describe the
@@ -553,6 +583,7 @@ class QueryScheduler:
                 ticket._deliver(
                     lambda: self._finish_result(served, ticket, hit=False)
                 )
+                self.latency.observe(self._clock() - submitted)
                 return ticket
         # Fast path: answer from the cache without queueing.
         elif self.cache is not None:
@@ -569,6 +600,7 @@ class QueryScheduler:
                 ticket._deliver(
                     lambda: self._finish_result(served, ticket, hit=True)
                 )
+                self.latency.observe(self._clock() - submitted)
                 return ticket
         with self._cond:
             if self._closed:
@@ -584,6 +616,10 @@ class QueryScheduler:
                 running.requests.append(ticket)
                 self._stats["deduped"] += 1
                 self._tenants.note(tenant, "deduped")
+                if ticket.trace and not running.claimed:
+                    # A traced rider upgrades the shared execution; all
+                    # followers then share the primary run's span tree.
+                    running.traced = True
                 if not running.claimed and priority > running.heap_priority:
                     running.heap_priority = priority
                     heapq.heappush(
@@ -593,7 +629,12 @@ class QueryScheduler:
                 self._arm_timer(ticket, timeout)
                 return ticket
             execution = _Execution(
-                key, ticket, cost, graph=graph, partition=partition
+                key,
+                ticket,
+                cost,
+                graph=graph,
+                partition=partition,
+                submitted_at=submitted,
             )
             self._inflight[key] = execution
             heapq.heappush(
@@ -687,7 +728,9 @@ class QueryScheduler:
             self._stats["submitted"] += 1
             self._tenants.note(tenant, "submitted")
             key = ("job", next(self._seq))
-            execution = _Execution(key, ticket, 0, job=fn)
+            execution = _Execution(
+                key, ticket, 0, job=fn, submitted_at=self._clock()
+            )
             self._inflight[key] = execution
             heapq.heappush(
                 self._heap, (-priority, next(self._seq), execution)
@@ -965,6 +1008,7 @@ class QueryScheduler:
         self._tenants.reserve(execution.tenant, execution.cost)
         self._running += 1
         self._max_in_flight = max(self._max_in_flight, self._running)
+        self.queue_wait.observe(now - execution.submitted_at)
         return execution
 
     def _execute(
@@ -977,6 +1021,7 @@ class QueryScheduler:
             self._execute_job(execution)
             return
         stored_mode = False
+        tracer = Tracer() if execution.traced else None
         try:
             # Construction is inside the guard too: a failing engine
             # factory, executor (dead shard roster) or partition/cluster
@@ -1004,12 +1049,22 @@ class QueryScheduler:
             cluster = self.config.make_cluster(
                 execution.graph, partition=execution.partition
             )
-            raw = engine.run(
-                cluster,
-                execution.pattern,
-                collect_embeddings=bool(execution.collect),
-                executor=executor,
+            root = (
+                nullcontext()
+                if tracer is None
+                else tracer.root(
+                    "service.execute",
+                    pattern=execution.pattern.name,
+                    engine=execution.engine,
+                )
             )
+            with root:
+                raw = engine.run(
+                    cluster,
+                    execution.pattern,
+                    collect_embeddings=bool(execution.collect),
+                    executor=executor,
+                )
             if execution.collect == "store" and not raw.failed:
                 # Persist inside the guard: an unwritable store must
                 # fail the waiting tickets, not unwind the worker.  The
@@ -1019,6 +1074,10 @@ class QueryScheduler:
                 stored_mode = True
                 raw = copy_result(raw)
                 raw.embeddings = None
+            if tracer is not None:
+                # Attached after the store write: persisted sets never
+                # carry one request's trace.
+                raw.trace = tracer.tree()
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
             from repro.distributed.errors import DistributedError
 
@@ -1090,6 +1149,15 @@ class QueryScheduler:
             self._stats["completed"] += delivered
             if stored_mode:
                 self._stats["store_stored"] += 1
+        duration = now - execution.submitted_at
+        self.latency.observe(duration)
+        self.slow_queries.record({
+            "pattern": execution.pattern.name,
+            "engine": execution.engine,
+            "tenant": execution.tenant,
+            "duration": duration,
+            "trace": raw.trace,
+        })
 
     def _execute_job(self, execution: _Execution) -> None:
         """Run an opaque job on this worker; deliver its return value."""
@@ -1175,6 +1243,24 @@ class QueryScheduler:
         snapshot["store"] = None if self.store is None else self.store.stats()
         snapshot["tenants"] = self._tenants.stats()
         return snapshot
+
+    def observability(self) -> dict[str, Any]:
+        """Timing histograms (p50/p95/p99) and the slow-query log.
+
+        JSON-safe; the server merges it into the ``metrics`` op.  The
+        ``cache_lookup`` histogram appears only when a cache is
+        configured (it lives on the cache, timing every ``get``).
+        """
+        histograms = {
+            "latency": self.latency.snapshot(),
+            "queue_wait": self.queue_wait.snapshot(),
+        }
+        if self.cache is not None:
+            histograms["cache_lookup"] = self.cache.lookups.snapshot()
+        return {
+            "histograms": histograms,
+            "slow_queries": self.slow_queries.snapshot(),
+        }
 
     def close(self, *, cancel_pending: bool = True) -> None:
         """Stop the workers (idempotent).

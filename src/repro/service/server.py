@@ -333,9 +333,7 @@ class QueryServer:
             if op == "announce":
                 return self._op_announce(request_id, message)
             if op == "metrics":
-                return protocol.ok_response(
-                    request_id, "metrics", self._metrics()
-                )
+                return self._op_metrics(request_id, message)
             if op == "register":
                 return self._op_register(request_id, message, push, attached)
             if op == "unregister":
@@ -435,6 +433,9 @@ class QueryServer:
             return self._bad_field(
                 "tenant", "a non-empty tenant name string", tenant
             )
+        trace = message.get("trace")
+        if trace is not None and not isinstance(trace, bool):
+            return self._bad_field("trace", "a boolean", trace)
         return None
 
     def _op_submit(
@@ -452,6 +453,7 @@ class QueryServer:
             limit=message.get("limit"),
             memory_mb=message.get("memory_mb"),
             tenant=message.get("tenant"),
+            trace=bool(message.get("trace", False)),
         )
         result = ticket.result()
         cache = (
@@ -831,12 +833,35 @@ class QueryServer:
         record.update(kind=kind, query=query, engine=engine)
         self._log_record(record)
 
+    def _op_metrics(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The ``metrics`` op: structured JSON, or Prometheus-style text.
+
+        ``format: "text"`` renders the same snapshot through
+        :func:`repro.obs.expo.render_text` and returns it as a string
+        result (one ``repro_*`` sample per line).
+        """
+        fmt = message.get("format")
+        if fmt not in (None, "json", "text"):
+            return protocol.error_response(
+                request_id,
+                self._bad_field("format", "'json' or 'text'", fmt),
+            )
+        payload: Any = self._metrics()
+        if fmt == "text":
+            from repro.obs.expo import render_text
+
+            payload = render_text(payload)
+        return protocol.ok_response(request_id, "metrics", payload)
+
     def _metrics(self) -> dict[str, Any]:
         """Structured service counters for the ``metrics`` op."""
         scheduler = self.scheduler.stats()
         cache = scheduler.pop("cache", None)
         store = scheduler.pop("store", None)
         tenants = scheduler.pop("tenants", {})
+        observability = self.scheduler.observability()
         current = self.streams.current
         return {
             "uptime_seconds": round(time.monotonic() - self._started, 3),
@@ -847,6 +872,8 @@ class QueryServer:
             "cache": cache,
             "store": store,
             "tenants": tenants,
+            "histograms": observability["histograms"],
+            "slow_queries": observability["slow_queries"],
             "streaming": self.streams.stats(),
             "shards": {
                 "configured": list(self.config.shards or ()),
@@ -861,8 +888,13 @@ class QueryServer:
             return
         from repro.api.results import append_record_jsonl
 
+        # Logged on a copy: the wall-clock stamp is a property of the
+        # *log line* (when the server served it), not of the record the
+        # response carries — responses stay byte-identical to PR 8.
+        entry = dict(record)
+        entry.setdefault("ts", time.time())
         with self._log_lock:
-            append_record_jsonl(record, self._log_path)
+            append_record_jsonl(entry, self._log_path)
 
 
 def wait_until_serving(

@@ -1,0 +1,266 @@
+"""End-to-end tracing and the live metrics pipeline through the service.
+
+The PR-9 acceptance path: a traced ``submit`` against a socket-backed
+``QueryServer`` must come back as ONE connected span tree whose leaf
+spans were emitted on the shard workers (parented across the wire), the
+per-round engine spans must account for the root duration, and the
+traced run's counts and stats must be bit-identical to an untraced run.
+Plus the surfaces: ``metrics`` op histograms with percentiles after a
+burst, Prometheus-style text exposition, request-log wall-clock ``ts``
+stamps (and :func:`read_records_jsonl` accepting logs without them).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.api import RunConfig
+from repro.api.results import (
+    RunResult,
+    append_record_jsonl,
+    read_records_jsonl,
+)
+from repro.distributed import ShardWorker
+from repro.graph import erdos_renyi
+from repro.obs.trace import span_names
+from repro.service import QueryServer, connect, protocol
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(60, 0.12, seed=17)
+
+
+def _addr(worker: ShardWorker) -> str:
+    host, port = worker.address
+    return f"{host}:{port}"
+
+
+def _walk(tree):
+    yield tree
+    for child in tree["children"]:
+        yield from _walk(child)
+
+
+def _engine_stats(result):
+    """Everything that must be bit-identical, service annotations aside."""
+    return (
+        result.failed,
+        result.embedding_count,
+        result.makespan,
+        result.total_comm_bytes,
+        result.peak_memory,
+        tuple(result.per_machine_time),
+        {
+            name: value
+            for name, value in result.counters.items()
+            if not name.startswith("service.")
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# One connected tree across the wire (socket backend)
+# ----------------------------------------------------------------------
+class TestDistributedTrace:
+    @pytest.fixture(scope="class")
+    def shard_pair(self):
+        workers = [ShardWorker().start(), ShardWorker().start()]
+        yield workers
+        for worker in workers:
+            worker.close()
+
+    @pytest.fixture(scope="class")
+    def server(self, graph, shard_pair):
+        config = RunConfig(
+            machines=3,
+            backend="socket",
+            shards=[_addr(w) for w in shard_pair],
+        )
+        with QueryServer(graph, config, threads=2, cache=True) as server:
+            yield server
+
+    def test_traced_submit_returns_one_connected_tree(
+        self, graph, server, shard_pair
+    ):
+        with connect(server.address, timeout=60) as client:
+            # Traced first (cold, executes); the untraced repeat is a
+            # cache hit served from the same enumeration.
+            traced = client.submit("q2", engine="rads", trace=True)
+            untraced = client.submit("q2", engine="rads")
+        # Bit-parity: spans observe, never perturb.  Only the service
+        # tier's cache-disposition annotations may differ.
+        assert untraced.trace is None
+        assert _engine_stats(traced) == _engine_stats(untraced)
+
+        tree = traced.trace
+        assert tree is not None
+        assert tree["name"] == "service.execute"
+        names = list(span_names(tree))
+        assert any(name.startswith("round.") for name in names)
+        assert "worker.task" in names
+
+        # One connected tree: every span's parent is in the same tree
+        # and shares the trace id, including the shard-emitted leaves.
+        nodes = {node["span_id"]: node for node in _walk(tree)}
+        shard_addrs = {_addr(w) for w in shard_pair}
+        leaf_shards = set()
+        for node in nodes.values():
+            assert node["trace_id"] == tree["trace_id"]
+            if node is not tree:
+                assert node["parent"] in nodes
+            if node["name"] == "worker.task":
+                # Emitted on the worker, parented under this process's
+                # batch span across the wire.
+                assert nodes[node["parent"]]["name"] == "executor.batch"
+                leaf_shards.add(node["attributes"]["shard"])
+        assert leaf_shards <= shard_addrs
+        assert leaf_shards, "no shard-emitted leaf spans came back"
+
+        # Per-round engine spans account for (almost all of) the root.
+        rounds = [n for n in tree["children"]
+                  if n["name"].startswith("round.")]
+        assert rounds
+        assert sum(r["duration"] for r in rounds) <= tree["duration"]
+
+    def test_cache_hit_fast_path_has_no_trace(self, server):
+        with connect(server.address, timeout=60) as client:
+            client.submit("q1", engine="rads")
+            again = client.submit("q1", engine="rads", trace=True)
+        # Served from the result cache without executing: nothing ran,
+        # so there is no span tree (and the payload stays byte-stable).
+        assert again.counters["service.cache_hit"] == 1
+        assert again.trace is None
+
+    def test_trace_round_trips_through_to_dict(self, server):
+        with connect(server.address, timeout=60) as client:
+            traced = client.submit("q3", engine="seed", trace=True)
+        assert traced.trace is not None
+        clone = RunResult.from_dict(traced.to_dict())
+        assert clone.trace == traced.trace
+        # And untraced records simply omit the key.
+        untraced_dict = RunResult.from_dict(
+            {**traced.to_dict()}
+        ).to_dict()
+        untraced_dict.pop("trace")
+        assert "trace" not in RunResult.from_dict(untraced_dict).to_dict()
+
+
+# ----------------------------------------------------------------------
+# Metrics pipeline: histograms, slow queries, text exposition
+# ----------------------------------------------------------------------
+class TestMetricsPipeline:
+    @pytest.fixture(scope="class")
+    def server(self, graph):
+        with QueryServer(
+            graph, RunConfig(machines=3), threads=2, cache=True
+        ) as server:
+            yield server
+
+    def test_histograms_report_percentiles_after_a_burst(self, server):
+        with connect(server.address, timeout=60) as client:
+            for name in ("q1", "q2", "q1", "q2", "q1"):
+                client.submit(name, engine="rads")
+            metrics = client.metrics()
+        latency = metrics["histograms"]["latency"]
+        assert latency["count"] >= 5
+        assert latency["max"] > 0.0
+        assert 0.0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+        queue_wait = metrics["histograms"]["queue_wait"]
+        assert queue_wait["count"] >= 1
+        cache_lookup = metrics["histograms"]["cache_lookup"]
+        assert cache_lookup["count"] >= 1
+        slow = metrics["slow_queries"]
+        assert slow and slow[0]["duration"] >= slow[-1]["duration"]
+        assert {"pattern", "engine", "duration"} <= set(slow[0])
+
+    def test_text_exposition_over_the_wire(self, server):
+        with connect(server.address, timeout=60) as client:
+            client.submit("q1", engine="rads")
+            text = client.metrics(format="text")
+        assert isinstance(text, str)
+        lines = text.splitlines()
+        assert any(
+            line.startswith("repro_histograms_latency_seconds_bucket")
+            for line in lines
+        )
+        assert any(
+            line.startswith("repro_histograms_latency_seconds_count")
+            for line in lines
+        )
+        # Every sample line carries the family prefix.
+        assert all(
+            line.startswith(("repro_", "#")) for line in lines if line
+        )
+
+    def test_invalid_format_names_the_field(self, server):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            stream = sock.makefile("rwb")
+            protocol.read_message(stream)  # hello
+            protocol.write_message(
+                stream, {"op": "metrics", "id": 1, "format": "xml"}
+            )
+            response = protocol.read_message(stream)
+            assert response["ok"] is False
+            assert "'format'" in response["error"]
+
+    def test_invalid_trace_flag_names_the_field(self, server):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            stream = sock.makefile("rwb")
+            protocol.read_message(stream)  # hello
+            protocol.write_message(
+                stream,
+                {"op": "submit", "id": 1, "query": "q1", "trace": "yes"},
+            )
+            response = protocol.read_message(stream)
+            assert response["ok"] is False
+            assert "'trace'" in response["error"]
+
+
+# ----------------------------------------------------------------------
+# Request log: wall-clock ts (satellite)
+# ----------------------------------------------------------------------
+class TestRequestLogTimestamps:
+    def test_log_records_carry_ts_and_replay(self, graph, tmp_path):
+        log_path = tmp_path / "requests.jsonl"
+        with QueryServer(
+            graph, RunConfig(machines=3), threads=1,
+            log_path=str(log_path),
+        ) as server:
+            with connect(server.address, timeout=60) as client:
+                before = time.time()
+                result = client.submit("q1", engine="rads")
+                after = time.time()
+        records = read_records_jsonl(log_path)
+        assert records
+        replayed = records[-1]
+        assert isinstance(replayed, RunResult)
+        assert replayed.embedding_count == result.embedding_count
+
+        # The raw line carries the wall-clock stamp the replay ignores.
+        raw = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert all("ts" in entry for entry in raw)
+        assert before <= raw[-1]["ts"] <= after
+
+    def test_reader_accepts_logs_without_ts(self, tmp_path):
+        """Pre-PR-9 logs (no ``ts``) replay unchanged."""
+        legacy = tmp_path / "legacy.jsonl"
+        result = RunResult(
+            engine="rads", pattern_name="q1", embedding_count=7,
+            makespan=1.0, total_comm_bytes=0, peak_memory=0,
+            per_machine_time=[1.0],
+        )
+        append_record_jsonl(result.to_dict(), legacy)
+        stamped = dict(result.to_dict())
+        stamped["ts"] = 1700000000.0
+        append_record_jsonl(stamped, legacy)
+        old, new = read_records_jsonl(legacy)
+        assert isinstance(old, RunResult) and isinstance(new, RunResult)
+        assert old.embedding_count == new.embedding_count == 7

@@ -129,6 +129,82 @@ class TestStaleResurrection:
 
 
 # ----------------------------------------------------------------------
+# snapshot() health fields under an injectable clock
+# ----------------------------------------------------------------------
+class TestSnapshotHealthFields:
+    def test_age_tracks_the_injected_clock_and_rounds(self, clock):
+        registry = ShardRegistry(stale_after=45.0, clock=clock)
+        clock.now = 1.0
+        registry.announce("127.0.0.1:9001")
+        clock.now = 13.3456
+        [entry] = registry.snapshot()
+        # Heartbeat age is now - last_seen, rounded to milliseconds.
+        assert entry["age_seconds"] == 12.346
+        assert entry["stale"] is False
+
+    def test_reannounce_resets_age_to_zero(self, clock):
+        registry = ShardRegistry(stale_after=45.0, clock=clock)
+        registry.announce("127.0.0.1:9001")
+        clock.now = 40.0
+        registry.announce("127.0.0.1:9001")
+        [entry] = registry.snapshot()
+        assert entry["age_seconds"] == 0.0
+        # The refresh pushed the stale horizon out past the old one.
+        clock.now = 84.9
+        [entry] = registry.snapshot()
+        assert entry["stale"] is False
+        assert entry["age_seconds"] == 44.9
+
+    def test_stale_flag_flips_exactly_at_the_horizon(self, clock):
+        registry = ShardRegistry(stale_after=45.0, clock=clock)
+        registry.announce("127.0.0.1:9001")
+        clock.now = 44.999
+        [entry] = registry.snapshot()
+        assert entry["stale"] is False
+        clock.now = 45.0  # >= stale_after: silence long enough
+        [entry] = registry.snapshot()
+        assert entry["stale"] is True
+        # The flagged entry stays visible for operators with its age.
+        assert entry["age_seconds"] == 45.0
+
+    def test_entries_age_independently(self, clock):
+        registry = ShardRegistry(stale_after=45.0, clock=clock)
+        registry.announce("127.0.0.1:9001")
+        clock.now = 50.0
+        registry.announce("127.0.0.1:9002")
+        clock.now = 60.0
+        by_address = {
+            entry["address"]: entry for entry in registry.snapshot()
+        }
+        assert by_address["127.0.0.1:9001"]["age_seconds"] == 60.0
+        assert by_address["127.0.0.1:9001"]["stale"] is True
+        assert by_address["127.0.0.1:9002"]["age_seconds"] == 10.0
+        assert by_address["127.0.0.1:9002"]["stale"] is False
+
+    def test_no_horizon_means_never_stale_but_age_still_reported(
+        self, clock
+    ):
+        registry = ShardRegistry(stale_after=None, clock=clock)
+        registry.announce("127.0.0.1:9001")
+        clock.now = 1e6
+        [entry] = registry.snapshot()
+        assert entry["stale"] is False
+        assert entry["age_seconds"] == 1e6
+
+    def test_clock_regression_clamps_age_at_zero(self, clock):
+        # A snapshot racing an announce on another thread can read the
+        # clock "before" the entry's refresh; the view must clamp, not
+        # report a negative heartbeat age.
+        registry = ShardRegistry(stale_after=45.0, clock=clock)
+        clock.now = 10.0
+        registry.announce("127.0.0.1:9001")
+        clock.now = 9.5
+        [entry] = registry.snapshot()
+        assert entry["age_seconds"] == 0.0
+        assert entry["stale"] is False
+
+
+# ----------------------------------------------------------------------
 # Garbage announce addresses through the server op
 # ----------------------------------------------------------------------
 class TestAnnounceValidation:
