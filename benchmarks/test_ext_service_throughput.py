@@ -54,7 +54,9 @@ def _workload(isomorphic_rewrites: bool):
     return requests
 
 
-def _drive(graph, *, cache, isomorphic_rewrites=False, trace=False):
+def _drive(
+    graph, *, cache, isomorphic_rewrites=False, trace=False, profile=False
+):
     config = RunConfig(machines=4)
     requests = _workload(isomorphic_rewrites)
     with QueryScheduler(
@@ -65,12 +67,12 @@ def _drive(graph, *, cache, isomorphic_rewrites=False, trace=False):
         # burst of repeats below actually exercises the cache instead of
         # deduplicating onto still-in-flight executions.
         warm = [
-            scheduler.submit(pattern, "rads", trace=trace)
+            scheduler.submit(pattern, "rads", trace=trace, profile=profile)
             for pattern in requests[: len(QUERIES)]
         ]
         results = [ticket.result(600) for ticket in warm]
         tickets = [
-            scheduler.submit(pattern, "rads", trace=trace)
+            scheduler.submit(pattern, "rads", trace=trace, profile=profile)
             for pattern in requests[len(QUERIES):]
         ]
         results += [ticket.result(600) for ticket in tickets]
@@ -315,3 +317,86 @@ def test_ext_tracing_overhead(benchmark, report):
     assert per_request < 0.01 * baseline_per_request
     # (c) and even full tracing stays a bounded, modest tax.
     assert elapsed_on < elapsed_off * 1.5 + 1.0
+
+
+# ----------------------------------------------------------------------
+# Profiling overhead guard (PR 10)
+# ----------------------------------------------------------------------
+def test_ext_profiling_overhead(benchmark, report):
+    """Disabled profiling must be invisible; enabled must not perturb.
+
+    The disabled path is one ContextVar read (``profile_active()``) per
+    execution — the guard holds it under 0.01% of what a request already
+    costs.  A fully profiled drive must produce the same enumeration
+    counts, and a profiled/unprofiled pair of the same query must be
+    bit-identical on every engine stat: profiles observe, never perturb.
+    """
+    from repro.obs.profile import profile_active
+
+    graph = powerlaw_cluster(400, edges_per_vertex=4, seed=11)
+
+    def _stats(result):
+        return (
+            result.failed,
+            result.embedding_count,
+            result.makespan,
+            result.total_comm_bytes,
+            result.peak_memory,
+            tuple(result.per_machine_time),
+            {
+                name: value
+                for name, value in result.counters.items()
+                if not name.startswith("service.")
+            },
+        )
+
+    def experiment():
+        start = time.perf_counter()
+        for _ in range(TRACE_PROBE_ITERS):
+            profile_active()
+        probe_cost = (time.perf_counter() - start) / TRACE_PROBE_ITERS
+        elapsed_off, _ = _drive(graph, cache=False)
+        elapsed_on, _ = _drive(graph, cache=False, profile=True)
+        # Bit-parity: same scheduler, same query, profiled and not.
+        with QueryScheduler(
+            graph, RunConfig(machines=4), threads=1, cache=False
+        ) as scheduler:
+            plain = scheduler.submit("q2", "rads").result(600)
+            profiled = scheduler.submit(
+                "q2", "rads", profile=True
+            ).result(600)
+        assert plain.profile is None
+        assert profiled.profile is not None
+        assert profiled.profile["wall_seconds"] > 0
+        identical = _stats(plain) == _stats(profiled)
+        return probe_cost, elapsed_off, elapsed_on, identical
+
+    probe_cost, elapsed_off, elapsed_on, identical = run_once(
+        benchmark, experiment
+    )
+
+    baseline_per_request = elapsed_off / REQUESTS
+    lines = [
+        "Profiling overhead — powerlaw |V|=400, 4 machines, "
+        f"{THREADS} threads, {REQUESTS} requests (cache off)",
+        f"disabled probe (profile_active): {probe_cost * 1e9:8.1f} ns/call "
+        f"({100 * probe_cost / baseline_per_request:.6f}% of the "
+        f"{baseline_per_request * 1e3:.1f}ms baseline request)",
+        f"unprofiled drive: {elapsed_off:6.2f}s "
+        f"({REQUESTS / elapsed_off:.1f} q/s)",
+        f"profiled drive:   {elapsed_on:6.2f}s "
+        f"({REQUESTS / elapsed_on:.1f} q/s, "
+        f"{elapsed_on / elapsed_off:.2f}x)",
+        f"profiled stats bit-identical: {identical}",
+    ]
+    report("ext_profiling_overhead", "\n".join(lines))
+
+    # The disabled path — one ContextVar read — is lost in the noise of
+    # a request: under 0.01% of the baseline per-request cost.
+    assert probe_cost < 0.0001 * baseline_per_request
+    # Profiles observe, never perturb.
+    assert identical
+    # Enabled profiling is a deliberate opt-in cost — tracemalloc hooks
+    # every allocation in the process — so the bound here only catches
+    # runaway regressions, not the instrument's own (large) price.
+    assert elapsed_on < elapsed_off * 15.0 + 5.0

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Failure-visibility walkthrough: the event journal and the SLO health op.
+
+Shows the PR-10 story end to end: a socket-backed query server with one
+*announced* shard worker gets that worker killed mid-run.  The failure
+is not silent — the coordinator journals a ``worker.lost`` event that
+carries the blocked request's trace id, the ``health`` op flips to
+``degraded`` with the lost address as evidence, and the moment a
+replacement worker announces, the blocked query completes (bit-identical
+result) and health returns to ``ok``.  The CLI twins:
+
+    python -m repro serve --port P --backend socket --events-log ev.jsonl
+    python -m repro events --port P --follow
+    python -m repro health --port P --watch    # exit code 0 only when ok
+
+Run:  python examples/health_demo.py
+"""
+
+import threading
+import time
+
+import repro
+from repro.api import RunConfig
+from repro.distributed import ShardRegistry, ShardWorker
+from repro.graph import powerlaw_cluster
+from repro.service import QueryServer, connect
+
+
+def show_events(records):
+    for record in records:
+        extras = {
+            k: v for k, v in record.items()
+            if k not in ("ts", "level", "component", "kind", "seq")
+        }
+        tail = "  " + ", ".join(
+            f"{k}={v}" for k, v in sorted(extras.items())
+        ) if extras else ""
+        print(f"  [{record['level']:<7}] {record['component']}: "
+              f"{record['kind']}{tail}")
+
+
+def wait_for(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise RuntimeError("timed out")
+
+
+def main() -> None:
+    graph = powerlaw_cluster(400, edges_per_vertex=4, seed=42)
+    # Serial reference for the bit-parity claim at the end.
+    serial = (
+        repro.open(graph).with_cluster(machines=3)
+        .engine("rads").query("q3").run()
+    )
+    registry = ShardRegistry()
+    config = RunConfig(machines=3, backend="socket")
+    replacement = None
+
+    with QueryServer(
+        graph, config, threads=1, shard_registry=registry
+    ) as server:
+        # One worker announces itself to the server (heartbeat path);
+        # the announce is journaled as a worker.joined event.
+        worker = ShardWorker(
+            announce=server.address, announce_interval=60.0
+        ).start()
+        try:
+            wait_for(lambda: len(registry) == 1)
+            with connect(server.address, timeout=60) as client:
+                cursor = client.events()["last_seq"]
+                print(f"health with a whole roster: "
+                      f"{client.health()['status']}")
+                reference = client.submit("q2", engine="rads")
+                print(f"warm run: {reference.embedding_count} embeddings "
+                      f"in {reference.makespan:.3f}s simulated\n")
+
+                # Kill the worker, then submit a fresh (uncached) query:
+                # the request blocks on the broken roster instead of
+                # failing, and its drive thread is what discovers the
+                # death — so the event carries this request's trace id.
+                print("killing the announced shard worker mid-run...")
+                worker.crash()
+                served = []
+
+                def resubmit():
+                    with connect(server.address, timeout=120) as c2:
+                        served.append(
+                            c2.submit("q3", engine="rads", trace=True)
+                        )
+
+                thread = threading.Thread(target=resubmit)
+                thread.start()
+
+                def lost():
+                    return [
+                        r for r in client.events(since=cursor)["events"]
+                        if r["kind"] == "worker.lost"
+                    ]
+
+                wait_for(lambda: lost())
+                print("the journal saw it (repro events):")
+                show_events(client.events(since=cursor)["events"])
+
+                verdict = client.health()
+                rule = next(r for r in verdict["rules"]
+                            if r["name"] == "worker_loss")
+                print(f"\nhealth: {verdict['status']}  "
+                      f"firing: {verdict['firing']}")
+                print(f"evidence: lost {rule['evidence']['address']} "
+                      f"during trace {rule['evidence']['trace_id']}")
+
+                # A replacement announce both unblocks the waiting
+                # query and clears the rule.
+                print("\nstarting a replacement worker...")
+                replacement = ShardWorker(
+                    announce=server.address, announce_interval=60.0
+                ).start()
+                thread.join(timeout=120)
+                result = served[0]
+                assert result.embedding_count == serial.embedding_count
+                print(f"blocked query completed on the replacement: "
+                      f"{result.embedding_count} embeddings "
+                      f"(bit-identical to a serial run)")
+                print(f"health after recovery: "
+                      f"{client.health()['status']}")
+                print("\nfull event tail for the episode:")
+                show_events(client.events(since=cursor)["events"])
+        finally:
+            worker.close()
+            if replacement is not None:
+                replacement.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -57,7 +57,10 @@ def record_from_dict(data: dict[str, Any]) -> "Record | dict[str, Any]":
     ``DeltaRecord`` dicts carry an explicit ``"kind": "delta"`` tag;
     embedding-store reads carry ``"kind": "page"``/``"lookup"``/
     ``"aggregate"`` and pass through as dicts (see
-    :data:`STORE_READ_KINDS`); ``QueryExplanation`` dicts are recognised
+    :data:`STORE_READ_KINDS`); event-journal records
+    (:mod:`repro.obs.events` sinks) are recognised by their
+    ``seq``/``level``/``component`` core keys and pass through as
+    dicts; ``QueryExplanation`` dicts are recognised
     by their ``rounds`` / ``matching_order`` keys, ``RunResult`` dicts by
     ``embedding_count``; anything else raises ``ValueError`` (a record
     log should only contain those).
@@ -67,6 +70,10 @@ def record_from_dict(data: dict[str, Any]) -> "Record | dict[str, Any]":
 
         return DeltaRecord.from_dict(data)
     if data.get("kind") in STORE_READ_KINDS:
+        return data
+    if "seq" in data and "level" in data and "component" in data:
+        # An event-journal record (repro.obs.events JSONL sink): already
+        # its own JSON-safe payload, replayed as a plain dict.
         return data
     if "rounds" in data and "matching_order" in data:
         from repro.query.explain import QueryExplanation

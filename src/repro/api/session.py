@@ -451,6 +451,7 @@ class Session:
         collect: "bool | str | None" = None,
         limit: int | None = None,
         trace: bool = False,
+        profile: bool = False,
     ) -> "RunResult":
         """Run the selected engine on the selected query.
 
@@ -475,6 +476,14 @@ class Session:
         as ``result.trace`` (:mod:`repro.obs.trace`).  Counts and stats
         are bit-identical either way; a store fast-path hit carries no
         trace (nothing ran), and persisted sets never store one.
+
+        ``profile=True`` additionally measures the run's resource
+        profile — CPU time (process and thread), peak memory, GC and
+        allocation deltas, a flame table over the span tree and, on the
+        socket backend, per-worker ``getrusage`` attribution — attached
+        as ``result.profile`` (:mod:`repro.obs.profile`).  The same
+        guarantees hold: counts and stats are bit-identical, fast-path
+        hits carry no profile, persisted sets never store one.
         """
         with self._lock:
             if self._pattern is None:
@@ -489,10 +498,17 @@ class Session:
             )
             limit = self._config.limit if limit is None else limit
             tracer = None
-            if trace:
+            if trace or profile:
+                # Profiled runs trace internally either way: the flame
+                # table is an aggregation over the span tree.
                 from repro.obs.trace import Tracer
 
                 tracer = Tracer()
+            profiler = None
+            if profile:
+                from repro.obs.profile import Profiler
+
+                profiler = Profiler()
 
             def _root():
                 return (
@@ -505,12 +521,15 @@ class Session:
                     )
                 )
 
+            def _prof():
+                return nullcontext() if profiler is None else profiler
+
             if self._labeled_query is not None:
                 if collect == "store":
                     raise ValueError(
                         "collect='store' serves unlabeled queries only"
                     )
-                with _root():
+                with _root(), _prof():
                     result = engine.run_labeled(
                         self.cluster(),
                         self._labeled_graph,
@@ -518,8 +537,10 @@ class Session:
                         collect_embeddings=collect,
                         limit=limit,
                     )
-                if tracer is not None:
+                if trace and tracer is not None:
                     result.trace = tracer.tree()
+                if profiler is not None:
+                    result.profile = profiler.result(tree=tracer.tree())
                 return result
             key: tuple | None = None
             if collect == "store":
@@ -528,7 +549,7 @@ class Session:
                 if served is not None:
                     return served
             try:
-                with _root():
+                with _root(), _prof():
                     result = engine.run(
                         self.cluster(),
                         self._pattern,
@@ -547,10 +568,14 @@ class Session:
                 self._store.put(key, self._pattern, result)
                 result = copy_result(result)
                 result.embeddings = None
-            if tracer is not None:
+            if trace and tracer is not None:
                 # Attached after the store write: persisted sets never
                 # carry one run's trace.
                 result.trace = tracer.tree()
+            if profiler is not None:
+                # Same discipline: the profile is this run's, never the
+                # persisted set's.
+                result.profile = profiler.result(tree=tracer.tree())
         if limit is not None and result.embeddings is not None:
             result.embeddings = result.embeddings[:limit]
         return result
@@ -732,6 +757,8 @@ class Session:
         tenants: Any = None,
         default_quota: Any = None,
         shard_registry: Any = None,
+        slow_log: int = 16,
+        events_path: str | None = None,
         start: bool = True,
     ) -> "QueryServer":
         """Expose this session's graph + config as a socket query service.
@@ -753,6 +780,11 @@ class Session:
         plus the ``page``/``lookup``/``aggregate`` protocol ops; when
         neither is given a store attached with :meth:`with_store` is
         shared with the server.
+
+        ``slow_log`` sizes the server's slow-query ring (the worst N by
+        latency, surfaced in ``metrics``); ``events_path`` mirrors every
+        event-journal record to a JSONL file (replayable with
+        :func:`repro.api.results.read_records_jsonl`).
         """
         from repro.service.server import QueryServer
 
@@ -778,6 +810,8 @@ class Session:
                 tenants=tenants,
                 default_quota=default_quota,
                 shard_registry=shard_registry,
+                slow_log=slow_log,
+                events_path=events_path,
             )
         return server.start() if start else server
 

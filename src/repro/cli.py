@@ -361,6 +361,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             memory_budget_mb=args.memory_budget_mb,
             log_path=args.log,
             default_quota=default_quota,
+            slow_log=args.slow_log,
+            events_path=args.events_log,
             start=False,
         )
     # OSError covers the bind failures (port in use, bad host);
@@ -427,6 +429,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 limit=args.show if args.show > 0 else None,
                 tenant=args.tenant,
                 trace=args.trace,
+                profile=args.profile,
             )
         except ServiceError as exc:
             raise SystemExit(str(exc))
@@ -455,6 +458,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         else:
             print("trace:")
             _render_trace(result.trace)
+    if args.profile:
+        if result.profile is None:
+            print("profile: none (served from the cache/store fast path)")
+        else:
+            _render_profile(result.profile)
     for emb in sorted(result.embeddings or [])[: args.show]:
         print("  ", emb)
     return 0
@@ -484,6 +492,46 @@ def _render_trace(
         _render_trace(child, duration, indent + "  ")
 
 
+def _render_profile(profile: dict) -> None:
+    """Print one profile record: clocks, memory, GC, flame, workers."""
+    cpu = profile.get("cpu") or {}
+    memory = profile.get("memory") or {}
+    gc_row = profile.get("gc") or {}
+    print(
+        f"profile: wall {profile.get('wall_seconds', 0.0) * 1000:.2f}ms  "
+        f"cpu {cpu.get('process_seconds', 0.0) * 1000:.2f}ms  "
+        f"thread {cpu.get('thread_seconds', 0.0) * 1000:.2f}ms"
+    )
+    peak = memory.get("peak_bytes")
+    allocated = memory.get("allocated_bytes")
+    if peak is not None:
+        print(
+            f"  memory: peak {peak / 1024:.1f}KiB  "
+            f"allocated {0 if allocated is None else allocated / 1024:.1f}KiB"
+        )
+    print(
+        f"  gc: {gc_row.get('collections', 0)} collections, "
+        f"{gc_row.get('collected', 0)} collected"
+    )
+    flame = profile.get("flame") or []
+    if flame:
+        print("  flame (self time):")
+        for row in flame:
+            print(
+                f"    {row['name']:<24} x{row['count']:<4} "
+                f"self {row['self'] * 1000:8.2f}ms  "
+                f"total {row['total'] * 1000:8.2f}ms"
+            )
+    for row in profile.get("workers") or []:
+        print(
+            f"  worker {row.get('shard')} pid {row.get('pid')} "
+            f"({row.get('mode')}): {row.get('tasks')} tasks  "
+            f"utime {row.get('utime', 0.0) * 1000:.2f}ms  "
+            f"stime {row.get('stime', 0.0) * 1000:.2f}ms  "
+            f"maxrss {row.get('maxrss_kb')}KiB"
+        )
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import time
 
@@ -510,6 +558,100 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             if remaining is not None:
                 remaining -= 1
     return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceError
+
+    with _connect_or_exit(args) as client:
+        cursor = args.since
+        first = True
+        try:
+            return _events_loop(args, client, cursor, first, time)
+        except BrokenPipeError:
+            # Downstream (e.g. `| grep -q`) closed the pipe mid-stream:
+            # a normal way to stop tailing, not an error.
+            return 0
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+
+
+def _events_loop(args, client, cursor, first, time) -> int:
+    while True:
+        if not first:
+            time.sleep(args.interval)
+        payload = client.events(
+            level=args.level,
+            component=args.component,
+            since=cursor,
+            limit=args.limit if first else None,
+        )
+        for record in payload["events"]:
+            if args.json:
+                print(json.dumps(record, sort_keys=True), flush=True)
+            else:
+                stamp = time.strftime(
+                    "%H:%M:%S", time.localtime(record["ts"])
+                )
+                extras = "".join(
+                    f" {key}={value}"
+                    for key, value in sorted(record.items())
+                    if key not in (
+                        "ts", "seq", "level", "component", "kind"
+                    )
+                )
+                print(
+                    f"{stamp} [{record['level']:<7}] "
+                    f"{record['component']}: {record['kind']}{extras}",
+                    flush=True,
+                )
+        cursor = payload["last_seq"]
+        first = False
+        if not args.follow:
+            return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceError
+
+    status = "ok"
+    with _connect_or_exit(args) as client:
+        first = True
+        while True:
+            if not first:
+                time.sleep(args.interval)
+            first = False
+            try:
+                verdict = client.health()
+            except ServiceError as exc:
+                raise SystemExit(str(exc))
+            status = verdict["status"]
+            if args.json:
+                print(json.dumps(verdict, sort_keys=True), flush=True)
+            else:
+                firing = verdict["firing"]
+                line = f"health: {status}"
+                if firing:
+                    line += f"  firing: {', '.join(firing)}"
+                print(line, flush=True)
+                for rule in verdict["rules"]:
+                    if not rule["firing"]:
+                        continue
+                    evidence = "".join(
+                        f" {key}={value}"
+                        for key, value in sorted(rule["evidence"].items())
+                    )
+                    print(
+                        f"  {rule['name']} ({rule['severity']}):{evidence}",
+                        flush=True,
+                    )
+            if not args.watch:
+                break
+    return 0 if status == "ok" else 1
 
 
 def _connect_or_exit(args: argparse.Namespace):
@@ -827,6 +969,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append every served result/explanation to "
                             "this JSONL request log (replayable via "
                             "repro.api.results.read_records_jsonl)")
+    serve.add_argument("--slow-log", type=int, default=16,
+                       help="slow-query log depth: keep the worst N "
+                            "requests by latency in metrics (default 16)")
+    serve.add_argument("--events-log", default=None,
+                       help="append every event-journal record (worker "
+                            "losses, resubmits, quota rejections, ...) "
+                            "to this JSONL file")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -855,6 +1004,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record and print the execution's span tree "
                              "(engine rounds, executor batches, shard "
                              "tasks); rides in --json as result['trace']")
+    submit.add_argument("--profile", action="store_true",
+                        help="measure and print the request's resource "
+                             "profile (CPU, peak memory, GC, flame table, "
+                             "per-worker attribution); rides in --json as "
+                             "result['profile']")
     submit.add_argument("--json", action="store_true",
                         help="emit RunResult.to_dict() plus the cache and "
                              "store dispositions as one JSON document")
@@ -888,6 +1042,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stop --watch after N polls "
                               "(default: until interrupted)")
     metrics.set_defaults(func=_cmd_metrics)
+
+    events = sub.add_parser(
+        "events",
+        help="print the service's structured event journal (worker "
+             "losses, resubmits, quota rejections, cache faults, ...)",
+    )
+    events.add_argument("--host", default="127.0.0.1")
+    events.add_argument("--port", type=int, default=7463)
+    events.add_argument("--level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="minimum severity to include")
+    events.add_argument("--component", default=None,
+                        help="only events from this component "
+                             "(coordinator, registry, scheduler, cache, "
+                             "streaming, health)")
+    events.add_argument("--since", type=int, default=None,
+                        help="only events with seq strictly greater "
+                             "(incremental polling cursor)")
+    events.add_argument("--limit", type=int, default=None,
+                        help="newest N events only")
+    events.add_argument("--follow", action="store_true",
+                        help="keep polling for new events (seq cursor; "
+                             "Ctrl-C to stop)")
+    events.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between --follow polls (default 2)")
+    events.add_argument("--json", action="store_true",
+                        help="one JSON event record per line")
+    events.set_defaults(func=_cmd_events)
+
+    health = sub.add_parser(
+        "health",
+        help="evaluate the service's SLO health rules (exit 0 = ok, "
+             "1 = degraded/critical)",
+    )
+    health.add_argument("--host", default="127.0.0.1")
+    health.add_argument("--port", type=int, default=7463)
+    health.add_argument("--watch", action="store_true",
+                        help="poll repeatedly instead of printing once")
+    health.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between --watch polls (default 2)")
+    health.add_argument("--json", action="store_true",
+                        help="emit the full verdict (rules + evidence) "
+                             "as one JSON document per poll")
+    health.set_defaults(func=_cmd_health)
 
     page = sub.add_parser(
         "page",

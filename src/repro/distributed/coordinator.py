@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.distributed import protocol
 from repro.distributed.errors import DistributedError
+from repro.obs import events as _events
 from repro.runtime.delta import capture_state
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -112,7 +113,10 @@ class _Batch:
     ``trace`` is the JSON-safe span-propagation context of a traced run
     (:func:`repro.obs.trace.wire_context`) or ``None``; when set it rides
     on every task message, and the workers' finished span dicts shipped
-    back beside results accumulate in ``spans``.
+    back beside results accumulate in ``spans``.  ``profile`` marks a
+    profiled batch the same way: every task message carries
+    ``profile: true``, and the workers' rusage rows shipped back beside
+    results accumulate in ``usage``.
     """
 
     def __init__(
@@ -122,12 +126,15 @@ class _Batch:
         tasks: Sequence[Any],
         shard_names: Sequence[str],
         trace: "dict[str, str] | None" = None,
+        profile: bool = False,
     ):
         self.token = token
         self.ctx_data = ctx_data
         self.tasks = tasks
         self.trace = trace
+        self.profile = profile
         self.spans: list[dict] = []
+        self.usage: list[dict] = []
         self.cond = threading.Condition()
         self.shares: dict[str, deque[int]] = {
             name: deque() for name in shard_names
@@ -224,6 +231,9 @@ class ShardCoordinator:
         #: Worker span dicts from the most recent traced batch, consumed
         #: by :meth:`take_worker_spans` (guarded by ``_batch_lock``).
         self._worker_spans: list[dict] = []
+        #: Worker rusage rows from the most recent profiled batch,
+        #: consumed by :meth:`take_worker_usage` (same guard).
+        self._worker_usage: list[dict] = []
         #: Serializes roster edits (registry syncs) against each other;
         #: readers (live_shards, close) see atomic list swaps.
         self._roster_lock = threading.Lock()
@@ -309,7 +319,12 @@ class ShardCoordinator:
         shard.last_error = None
 
     def _lose(
-        self, shard: _Shard, exc: BaseException, *, count: bool = True
+        self,
+        shard: _Shard,
+        exc: BaseException,
+        *,
+        count: bool = True,
+        trace_id: str | None = None,
     ) -> None:
         """Remove a shard from the roster (fault path).
 
@@ -321,6 +336,11 @@ class ShardCoordinator:
         not re-counted and keeps its original cause of death.  With
         ``count=False`` (a managed shard whose announced join could not
         be connected yet) the removal is not a fault.
+
+        Counted losses are journaled as ``worker.lost``; ``trace_id``
+        ties the event to the request whose batch hit the fault (drive
+        threads pass the batch's wire context id — context variables do
+        not cross into them).
         """
         if not shard.alive and shard.last_error is not None:
             return
@@ -328,6 +348,15 @@ class ShardCoordinator:
         shard.close()
         if count:
             self._bump(LOST_WORKERS)
+            _events.emit(
+                "error",
+                "coordinator",
+                _events.WORKER_LOST,
+                trace_id=trace_id,
+                address=shard.name,
+                error=shard.last_error,
+                managed=shard.managed,
+            )
 
     # ------------------------------------------------------------------
     # Elastic roster (announce registry)
@@ -358,6 +387,21 @@ class ShardCoordinator:
                 ):
                     with shard.lock:
                         shard.close()
+                    if entry is None:
+                        _events.emit(
+                            "info",
+                            "coordinator",
+                            _events.WORKER_LEFT,
+                            address=shard.name,
+                        )
+                    else:
+                        _events.emit(
+                            "warning",
+                            "coordinator",
+                            _events.WORKER_STALE,
+                            address=shard.name,
+                            age_seconds=entry.get("age_seconds"),
+                        )
                     continue
                 kept.append(shard)
             self._shards = kept
@@ -374,6 +418,12 @@ class ShardCoordinator:
                     self._shards.append(shard)
                     try:
                         self._connect(shard)
+                        _events.emit(
+                            "info",
+                            "coordinator",
+                            _events.WORKER_JOINED,
+                            address=shard.name,
+                        )
                     except (OSError, protocol.ProtocolError) as exc:
                         self._lose(shard, exc, count=False)
                 elif not shard.alive and (
@@ -386,6 +436,13 @@ class ShardCoordinator:
                             self._connect(shard)
                             shard.bound_key = None
                             shard.last_error = None
+                            _events.emit(
+                                "info",
+                                "coordinator",
+                                _events.WORKER_JOINED,
+                                address=shard.name,
+                                rejoined=True,
+                            )
                         except (OSError, protocol.ProtocolError) as exc:
                             self._lose(shard, exc, count=False)
                 elif shard.alive:
@@ -534,6 +591,7 @@ class ShardCoordinator:
         tasks: Sequence[Any],
         *,
         trace: "dict[str, str] | None" = None,
+        profile: bool = False,
     ) -> list[tuple]:
         """Run one batch; ``(status, payload, delta)`` per task, in order.
 
@@ -546,7 +604,9 @@ class ShardCoordinator:
         batch *traced*: it rides on every task message, workers emit one
         span per task and ship the finished span dicts back beside their
         results, and the caller collects them afterwards via
-        :meth:`take_worker_spans`.
+        :meth:`take_worker_spans`.  ``profile`` makes it *profiled* the
+        same way: workers measure their own rusage delta per task and
+        ship the rows back, collected via :meth:`take_worker_usage`.
         """
         if self._closed:
             raise DistributedError("coordinator is closed")
@@ -577,6 +637,7 @@ class ShardCoordinator:
                     f"batch-{self._batch_seq}", ctx_data, tasks,
                     [shard.name for shard in live],
                     trace=trace,
+                    profile=profile,
                 )
                 threads = [
                     threading.Thread(
@@ -607,9 +668,21 @@ class ShardCoordinator:
                         # tasks are pure functions of the shipped
                         # snapshot, so rerunning the batch is safe (and
                         # bit-identical).
+                        _events.emit(
+                            "warning",
+                            "coordinator",
+                            _events.BATCH_RETRY,
+                            trace_id=(
+                                trace.get("trace_id") if trace else None
+                            ),
+                            batch=batch.token,
+                            tasks=len(tasks),
+                            attempt=attempts,
+                        )
                         continue
                     raise batch.failure
                 self._worker_spans = list(batch.spans)
+                self._worker_usage = list(batch.usage)
                 return [batch.results[i] for i in range(len(tasks))]
 
     def take_worker_spans(self) -> list[dict]:
@@ -623,6 +696,17 @@ class ShardCoordinator:
         with self._batch_lock:
             spans, self._worker_spans = self._worker_spans, []
             return spans
+
+    def take_worker_usage(self) -> list[dict]:
+        """Rusage rows shipped back by the last profiled batch (consumed).
+
+        Empty for unprofiled batches.  The executor folds these into the
+        active :class:`~repro.obs.profile.Profiler` right after
+        :meth:`run_batch` returns.
+        """
+        with self._batch_lock:
+            usage, self._worker_usage = self._worker_usage, []
+            return usage
 
     def _drive(self, shard: _Shard, batch: _Batch) -> None:
         """One shard's batch loop: deal, pipeline, collect, survive."""
@@ -685,6 +769,8 @@ class ShardCoordinator:
                         }
                         if batch.trace is not None:
                             message["trace"] = batch.trace
+                        if batch.profile:
+                            message["profile"] = True
                         if not ctx_sent:
                             # First task this connection sees for the
                             # batch carries the shared (base, fn) context.
@@ -703,9 +789,13 @@ class ShardCoordinator:
                     if response.get("ok"):
                         triple = protocol.unpack(response["data"])
                         worker_spans = response.get("spans")
-                        if worker_spans:
+                        worker_usage = response.get("usage")
+                        if worker_spans or worker_usage:
                             with batch.cond:
-                                batch.spans.extend(worker_spans)
+                                if worker_spans:
+                                    batch.spans.extend(worker_spans)
+                                if worker_usage:
+                                    batch.usage.extend(worker_usage)
                     else:
                         # The worker is healthy but the task failed there
                         # (pool crash, unserializable result).  Surfaced
@@ -726,7 +816,10 @@ class ShardCoordinator:
                 # ValueError/AttributeError cover streams a concurrent
                 # loss already closed or nulled ("I/O operation on closed
                 # file", NoneType writes) — a shard fault, not a bug.
-                self._lose(shard, exc)
+                trace_id = (
+                    batch.trace.get("trace_id") if batch.trace else None
+                )
+                self._lose(shard, exc, trace_id=trace_id)
                 with batch.cond:
                     # Outstanding (sent but unanswered) tasks are
                     # resubmitted to the survivors; the dead shard's
@@ -734,6 +827,15 @@ class ShardCoordinator:
                     if inflight:
                         batch.pool.extend(sorted(inflight.values()))
                         self._bump(RESUBMITS, len(inflight))
+                        _events.emit(
+                            "warning",
+                            "coordinator",
+                            _events.BATCH_RESUBMIT,
+                            trace_id=trace_id,
+                            address=shard.name,
+                            batch=batch.token,
+                            tasks=len(inflight),
+                        )
                     share = batch.shares[shard.name]
                     batch.pool.extend(share)
                     share.clear()

@@ -31,6 +31,7 @@ from repro.distributed.coordinator import (
     RESUBMITS,
     ShardCoordinator,
 )
+from repro.obs.profile import attach_worker_usage, profile_active
 from repro.obs.trace import attach_spans, span as _obs_span, wire_context
 from repro.runtime.delta import apply_delta
 from repro.runtime.executor import Executor, TaskFn
@@ -90,14 +91,20 @@ class SocketExecutor(Executor):
             # Traced runs ship the batch span as the parent for the
             # shard workers' leaf spans; the finished worker spans come
             # back with the batch and fold into the live tree here.
+            # Profiled runs ride the same pipe: workers measure their
+            # own rusage per task and the rows fold into the active
+            # profiler.
             try:
                 triples = self._coordinator.run_batch(
-                    cluster, fn, tasks, trace=wire_context()
+                    cluster, fn, tasks,
+                    trace=wire_context(),
+                    profile=profile_active(),
                 )
             finally:
                 self.workers = len(self._coordinator.live_shards())
                 self._surface_counters(cluster)
                 attach_spans(self._coordinator.take_worker_spans())
+                attach_worker_usage(self._coordinator.take_worker_usage())
         payloads: list[Any] = []
         first_error: BaseException | None = None
         for status, payload, delta in triples:

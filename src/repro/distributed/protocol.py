@@ -23,7 +23,8 @@ Requests (coordinator -> worker) then follow; every response echoes
     {"op": "task", "id": 2, "batch": "batch-7",
      "data": "<b64 pickle args>",
      "ctx": "<b64 pickle (base, fn), first task per connection only>",
-     "trace": {"trace_id": "...", "parent": "..."}}  # traced runs only
+     "trace": {"trace_id": "...", "parent": "..."},  # traced runs only
+     "profile": true}                        # profiled runs only
     {"op": "ping", "id": 3}
     {"op": "stats", "id": 4}
     {"op": "shutdown", "id": 5}
@@ -34,7 +35,8 @@ Requests (coordinator -> worker) then follow; every response echoes
      "have": ["<fingerprint>", ...]}         # re-bind with the graph
     {"id": 2, "ok": true, "kind": "delta",
      "data": "<b64 pickle (status, payload, delta)>",
-     "spans": [{...}]}                       # traced runs only
+     "spans": [{...}],                       # traced runs only
+     "usage": [{...}]}                       # profiled runs only
     {"id": n, "ok": false, "error": "human-readable message"}
 
 Tracing (PR 9): a traced run's ``task`` messages carry the JSON-safe
@@ -44,6 +46,14 @@ worker times each task and ships the finished span dict(s) back in the
 ``spans`` list beside the delta payload, where the coordinator folds
 them into the live trace.  Untraced runs carry neither field, so the
 wire bytes of the default path are unchanged.
+
+Profiling (PR 10): a profiled run's ``task`` messages carry
+``profile: true``; the worker measures its own ``getrusage`` delta
+across the task and ships the JSON-safe row back in the ``usage`` list
+(:func:`repro.obs.profile.worker_usage` — shard address, pid, execution
+mode, utime/stime, maxrss), which the coordinator accumulates for the
+executor to fold into the active profiler.  Unprofiled runs carry
+neither field.
 
 A worker answers ``task`` responses in completion order (its process pool
 may finish them out of order); the coordinator matches on ``id``.  A

@@ -55,6 +55,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.distributed import protocol
 from repro.graph.graph import Graph
+from repro.obs.profile import task_rusage, worker_usage
 from repro.obs.trace import remote_span
 from repro.partition.partition import GraphPartition
 from repro.runtime.executor import _SpecEntry, _worker_run, execute_task
@@ -222,6 +223,7 @@ class _Connection:
     def _task(self, message: dict[str, Any]) -> None:
         request_id = message.get("id")
         trace = message.get("trace")
+        profile = bool(message.get("profile"))
         try:
             token = message.get("batch")
             ctx = message.get("ctx")
@@ -260,20 +262,32 @@ class _Connection:
             with self._inflight_cond:
                 self._inflight.add(future)
             started = time.perf_counter()
+            ru0 = task_rusage() if profile else None
             future.add_done_callback(
-                lambda f, rid=request_id, tr=trace, t0=started:
-                    self._pool_done(rid, f, trace=tr, started=t0)
+                lambda f, rid=request_id, tr=trace, t0=started, r0=ru0,
+                        pr=profile:
+                    self._pool_done(
+                        rid, f, trace=tr, started=t0, rusage0=r0, profile=pr
+                    )
             )
-        elif trace is None:
+        elif trace is None and not profile:
             self._respond(request_id, execute_task(
                 self._cluster, base, fn, args
             ))
         else:
             started = time.perf_counter()
+            ru0 = task_rusage() if profile else None
             triple = execute_task(self._cluster, base, fn, args)
             self._respond(
                 request_id, triple,
-                spans=[self._task_span(trace, started, mode="inline")],
+                spans=(
+                    [self._task_span(trace, started, mode="inline")]
+                    if trace is not None else None
+                ),
+                usage=(
+                    [self._task_usage(ru0, mode="inline")]
+                    if profile else None
+                ),
             )
 
     def _task_span(
@@ -296,12 +310,24 @@ class _Connection:
             mode=mode,
         )
 
+    def _task_usage(self, before: Any, *, mode: str) -> dict:
+        """One finished rusage row for a profiled task on this shard.
+
+        Pool mode ships the daemon-side delta (dispatch/serialization;
+        the task body ran in a child process) with ``mode`` marking the
+        caveat — see :func:`repro.obs.profile.worker_usage`.
+        """
+        host, port = self.worker.address
+        return worker_usage(before, shard=f"{host}:{port}", mode=mode)
+
     def _pool_done(
         self,
         request_id: Any,
         future: Any,
         trace: "dict | None" = None,
         started: float = 0.0,
+        rusage0: Any = None,
+        profile: bool = False,
     ) -> None:
         with self._inflight_cond:
             self._inflight.discard(future)
@@ -332,13 +358,17 @@ class _Connection:
         spans = None
         if trace is not None:
             spans = [self._task_span(trace, started, mode="pool")]
-        self._respond(request_id, triple, spans=spans)
+        usage = None
+        if profile:
+            usage = [self._task_usage(rusage0, mode="pool")]
+        self._respond(request_id, triple, spans=spans, usage=usage)
 
     def _respond(
         self,
         request_id: Any,
         triple: tuple,
         spans: "list[dict] | None" = None,
+        usage: "list[dict] | None" = None,
     ) -> None:
         try:
             data = protocol.pack(triple)
@@ -351,6 +381,8 @@ class _Connection:
         response["data"] = data
         if spans:
             response["spans"] = spans
+        if usage:
+            response["usage"] = usage
         self.write(response)
 
 

@@ -28,8 +28,10 @@ class RunResult:
 
     ``trace`` is the nested span tree of a traced run (see
     :mod:`repro.obs.trace`) — ``None`` unless the caller asked for
-    tracing.  It is per-request diagnostics, not part of the result
-    identity: cached and stored copies are persisted with it stripped.
+    tracing — and ``profile`` is the resource profile of a profiled run
+    (see :mod:`repro.obs.profile`).  Both are per-request diagnostics,
+    not part of the result identity: cached and stored copies are
+    persisted with them stripped.
     """
 
     engine: str
@@ -44,6 +46,7 @@ class RunResult:
     failure: str | None = None
     counters: dict[str, int] = field(default_factory=dict)
     trace: dict[str, Any] | None = None
+    profile: dict[str, Any] | None = None
 
     @property
     def comm_mb(self) -> float:
@@ -86,6 +89,8 @@ class RunResult:
             # Untraced records keep the exact pre-tracing shape, so
             # persisted request logs and cache files stay byte-stable.
             data["trace"] = self.trace
+        if self.profile is not None:
+            data["profile"] = self.profile
         return data
 
     @classmethod
@@ -111,6 +116,7 @@ class RunResult:
                 for k, v in (data.get("counters") or {}).items()
             },
             trace=data.get("trace"),
+            profile=data.get("profile"),
         )
 
 

@@ -60,6 +60,7 @@ class Histogram:
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
+        self._min = math.inf
 
     # ------------------------------------------------------------------
     def observe(self, value: float) -> None:
@@ -76,6 +77,8 @@ class Histogram:
             self._sum += value
             if value > self._max:
                 self._max = value
+            if value < self._min:
+                self._min = value
 
     # ------------------------------------------------------------------
     def percentile(self, q: float) -> float:
@@ -83,7 +86,10 @@ class Histogram:
 
         Linear interpolation within the bucket holding the target rank;
         the open-ended ``+inf`` bucket reports the observed maximum (the
-        best finite statement the histogram can make).
+        best finite statement the histogram can make).  Estimates are
+        clamped to the observed ``[min, max]`` range, so a single sample
+        (or any sparse bucket) reports a value that was actually seen —
+        never a below-minimum interpolation artifact, never negative.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
@@ -91,6 +97,7 @@ class Histogram:
             counts = list(self._counts)
             total = self._count
             maximum = self._max
+            minimum = self._min
         if total == 0:
             return 0.0
         rank = q / 100.0 * total
@@ -104,12 +111,13 @@ class Histogram:
                 low = self.bounds[i - 1] if i else 0.0
                 high = self.bounds[i]
                 fraction = (rank - previous) / count
-                return low + (high - low) * min(1.0, max(0.0, fraction))
+                estimate = low + (high - low) * min(1.0, max(0.0, fraction))
+                return min(max(estimate, minimum), maximum)
         return maximum
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """JSON-safe view: count/sum/max, p50/p95/p99, cumulative buckets."""
+        """JSON-safe view: count/sum/min/max, p50/p95/p99, cumulative buckets."""
         percentiles = {
             f"p{p:g}": self.percentile(p) for p in SNAPSHOT_PERCENTILES
         }
@@ -118,6 +126,7 @@ class Histogram:
             total = self._count
             observed_sum = self._sum
             maximum = self._max
+            minimum = self._min
         buckets: list[dict[str, Any]] = []
         cumulative = 0
         for bound, count in zip(self.bounds, counts):
@@ -128,6 +137,7 @@ class Histogram:
             "name": self.name,
             "count": total,
             "sum": observed_sum,
+            "min": 0.0 if total == 0 else minimum,
             "max": maximum,
             **percentiles,
             "buckets": buckets,

@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from repro.engines.base import RunResult
+from repro.obs import events as _events
 from repro.obs.hist import Histogram
 from repro.query.isomorphism import find_isomorphism
 from repro.query.pattern import Pattern
@@ -316,8 +317,10 @@ class ResultCache:
         )
         # Per-request diagnostics never enter the shared tier: a later
         # requester gets the stored run's counts and stats, not this
-        # request's span tree (and spill files stay byte-stable).
+        # request's span tree or resource profile (and spill files stay
+        # byte-stable).
         entry.result.trace = None
+        entry.result.profile = None
         with self._lock:
             self._insert(key, entry)
             if self.disk_dir is not None:
@@ -396,9 +399,20 @@ class ResultCache:
                 del self._entries[stale_key]
                 self.expirations += 1
         self._entries[key] = entry
+        evicted = 0
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            evicted += 1
+        if evicted:
+            _events.emit(
+                "debug",
+                "cache",
+                _events.CACHE_EVICTED,
+                evicted=evicted,
+                entries=len(self._entries),
+                capacity=self.capacity,
+            )
 
     def _expired(self, entry: _Entry) -> bool:
         return entry.expires_at is not None and self._clock() >= entry.expires_at
@@ -431,6 +445,14 @@ class ResultCache:
         except OSError:
             pass
         setattr(self, counter, getattr(self, counter) + 1)
+        if counter == "disk_errors":
+            _events.emit(
+                "error",
+                "cache",
+                _events.CACHE_DISK_ERROR,
+                digest=digest,
+                errors=self.disk_errors,
+            )
 
     def _spill(self, key: tuple, entry: _Entry) -> None:
         """Write-through one entry to its spill file (atomically)."""
@@ -451,6 +473,14 @@ class ResultCache:
             os.replace(tmp, path)
         except OSError:
             self.disk_errors += 1
+            _events.emit(
+                "error",
+                "cache",
+                _events.CACHE_DISK_ERROR,
+                digest=digest,
+                op="spill",
+                errors=self.disk_errors,
+            )
             return
         self._disk_index.pop(digest, None)
         self._disk_index[digest] = record["stored_at"]

@@ -135,6 +135,7 @@ class ServiceClient:
         memory_mb: float | None = None,
         tenant: "str | None" = None,
         trace: bool = False,
+        profile: bool = False,
     ) -> RunResult:
         """Run one query on the server; blocks until the result arrives.
 
@@ -148,7 +149,10 @@ class ServiceClient:
 
         ``trace=True`` asks the server to record the execution's span
         tree; it comes back on ``result.trace`` (``None`` for fast-path
-        cache/store hits, where nothing ran).
+        cache/store hits, where nothing ran).  ``profile=True`` asks for
+        the execution's resource profile — CPU, peak memory, GC deltas,
+        flame table, per-worker attribution — on ``result.profile``
+        (same fast-path caveat; counts and stats are unaffected).
         """
         response = self._call(
             "submit",
@@ -161,6 +165,7 @@ class ServiceClient:
             memory_mb=memory_mb,
             tenant=tenant,
             trace=trace or None,
+            profile=profile or None,
         )
         self.last_cache = response.get("cache")
         self.last_store = response.get("store")
@@ -239,6 +244,36 @@ class ServiceClient:
         ``format="text"`` the server renders the same snapshot as
         Prometheus-style exposition text and a ``str`` is returned."""
         return self._call("metrics", format=format)["result"]
+
+    def events(
+        self,
+        *,
+        level: "str | None" = None,
+        component: "str | None" = None,
+        since: "int | None" = None,
+        limit: "int | None" = None,
+    ) -> dict[str, Any]:
+        """A filtered slice of the server's event journal.
+
+        Returns ``{"events": [...], "last_seq": N, "capacity": C}``;
+        ``level`` is a minimum severity (``debug`` .. ``error``),
+        ``component`` matches exactly, ``since`` keeps events with
+        ``seq`` strictly greater (poll incrementally by passing the last
+        ``last_seq`` you saw), ``limit`` keeps the newest N.
+        """
+        return self._call(
+            "events",
+            level=level,
+            component=component,
+            since=since,
+            limit=limit,
+        )["result"]
+
+    def health(self) -> dict[str, Any]:
+        """The server's SLO verdict over its live metrics snapshot:
+        ``{"status": "ok"|"degraded"|"critical", "rules": [...],
+        "firing": [...]}`` (see :mod:`repro.obs.health`)."""
+        return self._call("health")["result"]
 
     def ping(self) -> bool:
         """Round-trip health check."""

@@ -20,6 +20,9 @@ Requests (client -> server)::
      "graphs": ["<fingerprint>"], "workers": 2, "pid": 4242}
     {"op": "announce","id": 8, "address": "127.0.0.1:7471",
      "withdraw": true}
+    {"op": "events",  "id": 16, "level": "warning",
+     "component": "coordinator", "since": 42, "limit": 100}
+    {"op": "health",  "id": 17}
 
 ``submit`` also accepts ``"tenant": "team-a"`` to attribute the request
 to a tenant quota, ``"collect"`` is tri-state — ``false`` / ``true``
@@ -36,6 +39,22 @@ snapshots with p50/p95/p99 and the slow-query log) — or, with
 ``"format": "text"``, the same snapshot rendered as Prometheus-style
 exposition text (the result is then a string, one ``repro_*`` sample
 per line).
+
+``submit`` further accepts ``"profile": true`` to measure the request's
+resource profile (:mod:`repro.obs.profile`): CPU time, peak memory,
+GC/allocation deltas, a flame table over the span tree and — on the
+socket backend — per-worker ``getrusage`` attribution, returned inside
+the result record under ``"profile"`` (absent on unprofiled submits, so
+default payloads are unchanged; profiled counts and stats stay
+bit-identical to unprofiled runs).  ``events`` returns a filtered slice
+of the server's bounded event journal (:mod:`repro.obs.events`) — every
+filter optional: ``level`` is a minimum severity, ``component`` matches
+exactly, ``since`` is a strictly-greater ``seq`` cursor for incremental
+polling, ``limit`` keeps the newest N.  ``health`` evaluates the
+declarative SLO rule set (:mod:`repro.obs.health`) over the live
+metrics snapshot and returns ``{"status": "ok"|"degraded"|"critical",
+"rules": [...], "firing": [...]}`` with the evidence each firing rule
+fired on.
 
 Embedding-store requests (served from the persisted, trie-compressed
 sets written by ``collect="store"`` submissions; index range scans, no
@@ -84,6 +103,15 @@ Responses (server -> client) echo ``id`` and carry ``ok``::
     {"id": 3, "ok": true, "kind": "stats", "result": {...}}
     {"id": 4, "ok": true, "kind": "pong", "result": {"version": 1}}
     {"id": 5, "ok": true, "kind": "bye", "result": null}
+    {"id": 16, "ok": true, "kind": "events",
+     "result": {"events": [{"seq": 43, "ts": ..., "level": "error",
+                            "component": "coordinator",
+                            "kind": "worker.lost", ...}, ...],
+                "last_seq": 57, "capacity": 512}}
+    {"id": 17, "ok": true, "kind": "health",
+     "result": {"status": "degraded", "firing": ["worker_loss"],
+                "rules": [{"name": ..., "severity": ..., "firing": ...,
+                           "evidence": {...}}, ...]}}
     {"id": 9, "ok": true, "kind": "registered", "result": {"watch": "w1", ...}}
     {"id": 11, "ok": true, "kind": "ingested", "result": {"version": 2, ...}}
     {"id": 12, "ok": true, "kind": "deltas", "result": {"deltas": [...], ...}}
@@ -128,6 +156,8 @@ OPS = (
     "shutdown",
     "announce",
     "metrics",
+    "events",
+    "health",
     "register",
     "unregister",
     "ingest",

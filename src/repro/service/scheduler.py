@@ -66,7 +66,9 @@ from repro.api.config import MIB, RunConfig, normalize_collect
 from repro.api.registry import EngineRegistry, default_registry
 from repro.engines.base import RunResult
 from repro.enumeration.labeled import LabeledPattern
+from repro.obs import events as _events
 from repro.obs.hist import Histogram, SlowQueryLog
+from repro.obs.profile import Profiler
 from repro.obs.trace import Tracer
 from repro.query.pattern import Pattern
 from repro.service.cache import (
@@ -133,6 +135,7 @@ class QueryTicket:
         limit: int | None,
         tenant: "str | None" = None,
         trace: bool = False,
+        profile: bool = False,
     ):
         self.pattern = pattern
         self.engine = engine
@@ -142,6 +145,8 @@ class QueryTicket:
         self.tenant = tenant
         #: The request asked for a span tree (``RunResult.trace``).
         self.trace = trace
+        #: The request asked for a resource profile (``RunResult.profile``).
+        self.profile = profile
         self.cache_hit = False
         self.deduped = False
         #: Store disposition for ``collect="store"`` submissions:
@@ -249,6 +254,8 @@ class _Execution:
         #: The run records a span tree (the primary asked, or a dedup
         #: rider escalated it before a worker claimed the execution).
         self.traced = ticket.trace
+        #: The run records a resource profile (same escalation rule).
+        self.profiled = ticket.profile
         self.requests: list[QueryTicket] = [ticket]
         #: The pattern actually enumerated (the primary's spelling).
         self.pattern = ticket.pattern
@@ -300,6 +307,9 @@ class QueryScheduler:
         registry the roster may start empty — the startup probe is
         skipped and submissions fail with ``DistributedError`` until a
         worker announces.
+    slow_log:
+        Depth of the slow-query ring: the N slowest executions are kept
+        (with their trace ids) for the ``metrics`` op.
 
     Deadlines (``submit(timeout=...)``) are wall-clock
     (:func:`time.monotonic`) throughout — both the queue-side expiry
@@ -321,6 +331,7 @@ class QueryScheduler:
         default_quota: "TenantQuota | None" = None,
         shard_registry: "ShardRegistry | None" = None,
         store: "EmbeddingStore | None" = None,
+        slow_log: int = 16,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
@@ -409,7 +420,7 @@ class QueryScheduler:
         # observability() / the server's ``metrics`` op.
         self.latency = Histogram("latency")
         self.queue_wait = Histogram("queue_wait")
-        self.slow_queries = SlowQueryLog()
+        self.slow_queries = SlowQueryLog(slow_log)
         self._workers = [
             threading.Thread(
                 target=self._worker, name=f"repro-query-{i}", daemon=True
@@ -434,6 +445,7 @@ class QueryScheduler:
         memory_mb: float | None = None,
         tenant: "str | None" = None,
         trace: bool = False,
+        profile: bool = False,
     ) -> QueryTicket:
         """Enqueue one query; returns immediately with a :class:`QueryTicket`.
 
@@ -460,6 +472,12 @@ class QueryScheduler:
         batches and (socket backend) shard-worker leaf spans — attached
         as ``result.trace``.  Counts and stats are bit-identical either
         way; cache/store fast-path answers carry no trace (nothing ran).
+
+        ``profile=True`` records a resource profile for the execution —
+        CPU/memory/GC deltas, a flame table over the span tree, and
+        (socket backend) per-worker rusage attribution — attached as
+        ``result.profile``.  The same bit-identical/fast-path rules as
+        tracing apply.
         """
         from repro.api.session import resolve_query
 
@@ -519,6 +537,15 @@ class QueryScheduler:
         if self._budget is not None and cost > self._budget:
             with self._cond:
                 self._stats["rejected"] += 1
+            _events.emit(
+                "warning",
+                "scheduler",
+                _events.ADMISSION_REJECTED,
+                pattern=pattern.name,
+                tenant=tenant,
+                cost_bytes=cost,
+                budget_bytes=self._budget,
+            )
             raise AdmissionError(
                 f"query {pattern.name!r} needs {cost} bytes but the "
                 f"admission budget is {self._budget} bytes"
@@ -532,12 +559,28 @@ class QueryScheduler:
         except QuotaExceeded:
             with self._cond:
                 self._stats["quota_rejected"] += 1
+            _events.emit(
+                "warning",
+                "scheduler",
+                _events.QUOTA_REJECTED,
+                pattern=pattern.name,
+                tenant=tenant,
+            )
             raise
         tenant_budget = self._tenants.memory_bytes(tenant)
         if tenant_budget is not None and cost > tenant_budget:
             self._tenants.reject_memory(tenant)
             with self._cond:
                 self._stats["rejected"] += 1
+            _events.emit(
+                "warning",
+                "scheduler",
+                _events.ADMISSION_REJECTED,
+                pattern=pattern.name,
+                tenant=tenant,
+                cost_bytes=cost,
+                budget_bytes=tenant_budget,
+            )
             raise AdmissionError(
                 f"query {pattern.name!r} needs {cost} bytes but tenant "
                 f"{tenant!r}'s memory budget is {tenant_budget} bytes"
@@ -552,6 +595,7 @@ class QueryScheduler:
             limit=limit,
             tenant=tenant,
             trace=bool(trace),
+            profile=bool(profile),
         )
         # Pin the snapshot this submission runs against: the cache key
         # below and the execution's graph/partition must describe the
@@ -620,6 +664,9 @@ class QueryScheduler:
                     # A traced rider upgrades the shared execution; all
                     # followers then share the primary run's span tree.
                     running.traced = True
+                if ticket.profile and not running.claimed:
+                    # Same escalation for a profiled rider.
+                    running.profiled = True
                 if not running.claimed and priority > running.heap_priority:
                     running.heap_priority = priority
                     heapq.heappush(
@@ -668,6 +715,14 @@ class QueryScheduler:
             )):
                 with self._cond:
                     self._stats["timeouts"] += 1
+                _events.emit(
+                    "warning",
+                    "scheduler",
+                    _events.ADMISSION_TIMEOUT,
+                    pattern=ticket.pattern.name,
+                    tenant=ticket.tenant,
+                    timeout_seconds=timeout,
+                )
 
         ticket._timer = timer = threading.Timer(timeout, expire)
         timer.daemon = True
@@ -713,6 +768,13 @@ class QueryScheduler:
         except QuotaExceeded:
             with self._cond:
                 self._stats["quota_rejected"] += 1
+            _events.emit(
+                "warning",
+                "scheduler",
+                _events.QUOTA_REJECTED,
+                job=description,
+                tenant=tenant,
+            )
             raise
         ticket = QueryTicket(
             Pattern(1, [], name=description),
@@ -1021,7 +1083,13 @@ class QueryScheduler:
             self._execute_job(execution)
             return
         stored_mode = False
-        tracer = Tracer() if execution.traced else None
+        # A profiled run always carries a tracer — the flame table is an
+        # aggregation of the span tree — but the tree is only *attached*
+        # to the result when tracing was actually requested.
+        tracer = (
+            Tracer() if (execution.traced or execution.profiled) else None
+        )
+        profiler = Profiler() if execution.profiled else None
         try:
             # Construction is inside the guard too: a failing engine
             # factory, executor (dead shard roster) or partition/cluster
@@ -1058,7 +1126,8 @@ class QueryScheduler:
                     engine=execution.engine,
                 )
             )
-            with root:
+            prof = nullcontext() if profiler is None else profiler
+            with root, prof:
                 raw = engine.run(
                     cluster,
                     execution.pattern,
@@ -1074,10 +1143,14 @@ class QueryScheduler:
                 stored_mode = True
                 raw = copy_result(raw)
                 raw.embeddings = None
-            if tracer is not None:
+            if execution.traced and tracer is not None:
                 # Attached after the store write: persisted sets never
                 # carry one request's trace.
                 raw.trace = tracer.tree()
+            if profiler is not None:
+                # Same discipline for the profile (and the flame table
+                # folds the span tree whether or not it was attached).
+                raw.profile = profiler.result(tree=tracer.tree())
         except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
             from repro.distributed.errors import DistributedError
 
@@ -1156,6 +1229,7 @@ class QueryScheduler:
             "engine": execution.engine,
             "tenant": execution.tenant,
             "duration": duration,
+            "trace_id": None if tracer is None else tracer.trace_id,
             "trace": raw.trace,
         })
 

@@ -135,6 +135,8 @@ class QueryServer:
         default_quota: "TenantQuota | None" = None,
         shard_registry: "ShardRegistry | None" = None,
         verify_deltas: bool = False,
+        slow_log: int = 16,
+        events_path: "str | None" = None,
     ):
         self.graph = graph
         self.config = config or RunConfig()
@@ -182,6 +184,7 @@ class QueryServer:
                 default_quota=default_quota,
                 shard_registry=self.shard_registry,
                 store=store,
+                slow_log=slow_log,
             )
         except BaseException:
             self._tcp.server_close()
@@ -191,6 +194,15 @@ class QueryServer:
         # reclaims the superseded version's cache entries) via _on_rebind.
         from repro.streaming import ContinuousQueryManager
 
+        # Observability: the process-wide event journal (optionally
+        # mirrored to a JSONL sink) and the SLO health engine evaluated
+        # over _metrics() on demand by the ``health`` op.
+        from repro.obs.events import journal as _journal
+        from repro.obs.health import HealthEngine
+
+        if events_path is not None:
+            _journal().set_sink(events_path)
+        self.health = HealthEngine()
         self.streams = ContinuousQueryManager(
             graph,
             scheduler=self.scheduler,
@@ -280,6 +292,16 @@ class QueryServer:
         and the superseded version's now-unreachable result-cache entries
         are reclaimed by fingerprint.
         """
+        from repro.obs import events as _events
+
+        _events.emit(
+            "info",
+            "streaming",
+            _events.GRAPH_REBIND,
+            old_fingerprint=old.fingerprint,
+            new_fingerprint=new.fingerprint,
+            version=new.version,
+        )
         self.scheduler.rebind_graph(new.graph)
         self.graph = new.graph
         with self._explain_lock:
@@ -334,6 +356,10 @@ class QueryServer:
                 return self._op_announce(request_id, message)
             if op == "metrics":
                 return self._op_metrics(request_id, message)
+            if op == "events":
+                return self._op_events(request_id, message)
+            if op == "health":
+                return self._op_health(request_id, message)
             if op == "register":
                 return self._op_register(request_id, message, push, attached)
             if op == "unregister":
@@ -436,6 +462,9 @@ class QueryServer:
         trace = message.get("trace")
         if trace is not None and not isinstance(trace, bool):
             return self._bad_field("trace", "a boolean", trace)
+        profile = message.get("profile")
+        if profile is not None and not isinstance(profile, bool):
+            return self._bad_field("profile", "a boolean", profile)
         return None
 
     def _op_submit(
@@ -454,6 +483,7 @@ class QueryServer:
             memory_mb=message.get("memory_mb"),
             tenant=message.get("tenant"),
             trace=bool(message.get("trace", False)),
+            profile=bool(message.get("profile", False)),
         )
         result = ticket.result()
         cache = (
@@ -515,6 +545,16 @@ class QueryServer:
         canonical = f"{host}:{port}"
         if message.get("withdraw"):
             known = self.shard_registry.withdraw(canonical)
+            if known:
+                from repro.obs import events as _events
+
+                _events.emit(
+                    "info",
+                    "registry",
+                    _events.WORKER_LEFT,
+                    address=canonical,
+                    roster=len(self.shard_registry),
+                )
             return protocol.ok_response(
                 request_id,
                 "withdrawn",
@@ -535,12 +575,27 @@ class QueryServer:
                     "graphs", "a list of graph fingerprints", graphs
                 ),
             )
+        before = self.shard_registry.version()
         version = self.shard_registry.announce(
             canonical,
             graphs=graphs,
             workers=message.get("workers"),
             pid=message.get("pid"),
         )
+        if version != before:
+            # A version advance means a *new* roster member (re-announces
+            # refresh in place); that join is the transition the health
+            # engine's worker_loss rule clears on.
+            from repro.obs import events as _events
+
+            _events.emit(
+                "info",
+                "registry",
+                _events.WORKER_JOINED,
+                address=canonical,
+                roster=len(self.shard_registry),
+                rejoined=self.shard_registry.announces(canonical) > 1,
+            )
         stale_after = self.shard_registry.stale_after
         return protocol.ok_response(
             request_id,
@@ -855,8 +910,81 @@ class QueryServer:
             payload = render_text(payload)
         return protocol.ok_response(request_id, "metrics", payload)
 
+    def _op_events(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The ``events`` op: filtered slice of the event journal.
+
+        Optional filters: ``level`` (minimum severity), ``component``,
+        ``since`` (strictly-greater sequence cursor — pass the last
+        ``seq`` you saw to poll incrementally), ``limit`` (newest N).
+        """
+        from repro.obs import events as _events
+
+        level = message.get("level")
+        if level is not None and level not in _events.LEVELS:
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "level", f"one of {', '.join(_events.LEVELS)}", level
+                ),
+            )
+        component = message.get("component")
+        if component is not None and (
+            not isinstance(component, str) or not component
+        ):
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "component", "a component name string", component
+                ),
+            )
+        since = message.get("since")
+        if since is not None and (
+            not isinstance(since, int)
+            or isinstance(since, bool)
+            or since < 0
+        ):
+            return protocol.error_response(
+                request_id,
+                self._bad_field(
+                    "since", "a non-negative sequence number", since
+                ),
+            )
+        limit = message.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 1
+        ):
+            return protocol.error_response(
+                request_id,
+                self._bad_field("limit", "a positive integer", limit),
+            )
+        journal = _events.journal()
+        records = journal.snapshot(
+            level=level, component=component, since=since, limit=limit
+        )
+        return protocol.ok_response(
+            request_id,
+            "events",
+            {
+                "events": records,
+                "last_seq": journal.last_seq,
+                "capacity": journal.capacity,
+            },
+        )
+
+    def _op_health(
+        self, request_id: Any, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The ``health`` op: the SLO verdict over the live metrics."""
+        verdict = self.health.evaluate(self._metrics())
+        return protocol.ok_response(request_id, "health", verdict)
+
     def _metrics(self) -> dict[str, Any]:
         """Structured service counters for the ``metrics`` op."""
+        from repro.obs.events import journal
+
+        _journal = journal()
         scheduler = self.scheduler.stats()
         cache = scheduler.pop("cache", None)
         store = scheduler.pop("store", None)
@@ -879,6 +1007,11 @@ class QueryServer:
                 "configured": list(self.config.shards or ()),
                 "registry": self.shard_registry.snapshot(),
                 "version": self.shard_registry.version(),
+            },
+            "events": {
+                "last_seq": _journal.last_seq,
+                "retained": len(_journal),
+                "capacity": _journal.capacity,
             },
         }
 

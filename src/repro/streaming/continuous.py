@@ -75,14 +75,28 @@ class Watch:
 
     # -- manager side ---------------------------------------------------
     def _publish(self, record: DeltaRecord) -> None:
+        overflowed = 0
         with self._cond:
             self._pending.append(record)
             while len(self._pending) > self._pending_limit:
                 self._pending.popleft()
                 self.dropped += 1
+                overflowed += 1
             self.delivered += 1
             push = self._push
             self._cond.notify_all()
+        if overflowed:
+            from repro.obs import events as _events
+
+            _events.emit(
+                "warning",
+                "streaming",
+                _events.WATCH_DROPPED,
+                watch=self.id,
+                reason="overflow",
+                dropped=overflowed,
+                pending_limit=self._pending_limit,
+            )
         if push is not None:
             try:
                 push(record)
@@ -283,6 +297,16 @@ class ContinuousQueryManager:
                     except QuotaExceeded as exc:
                         watch._note_dropped()
                         self._quota_dropped += 1
+                        from repro.obs import events as _events
+
+                        _events.emit(
+                            "warning",
+                            "streaming",
+                            _events.WATCH_DROPPED,
+                            watch=watch.id,
+                            reason="quota",
+                            tenant=watch.tenant,
+                        )
                         report["watches"][watch.id] = {
                             "dropped": True,
                             "error": str(exc),

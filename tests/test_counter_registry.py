@@ -57,6 +57,34 @@ class TestRegistryPinsSourceConstants:
         assert all("." in name for name in KNOWN_COUNTERS)
 
 
+class TestEventMirrorParity:
+    """Event kinds that mirror counters stay pinned to both registries.
+
+    PR 10's journal records the *same* transitions some counters count;
+    :data:`repro.obs.events.MIRRORED_COUNTERS` spells the pairing.  Each
+    side must match its source of truth, so an event can never claim to
+    mirror a counter that drifted or was never registered.
+    """
+
+    def test_mirrored_pairs_pin_the_coordinator_constants(self):
+        from repro.obs import events
+
+        assert (
+            events.MIRRORED_COUNTERS[events.WORKER_LOST]
+            == coordinator.LOST_WORKERS
+        )
+        assert (
+            events.MIRRORED_COUNTERS[events.BATCH_RESUBMIT]
+            == coordinator.RESUBMITS
+        )
+
+    def test_mirrored_names_exist_in_both_registries(self):
+        from repro.obs import events
+
+        assert set(events.MIRRORED_COUNTERS) <= events.KNOWN_KINDS
+        assert set(events.MIRRORED_COUNTERS.values()) <= KNOWN_COUNTERS
+
+
 class TestUnknownCounters:
     def test_registered_and_engine_names_pass(self):
         assert unknown_counters([]) == []
